@@ -1,0 +1,41 @@
+// Ablation — block size B_n for the delayed library (DESIGN.md §5).
+//
+// §4 says the definitions work for any block size; this sweep shows the
+// performance tradeoff on the bestcut pipeline: tiny blocks pay per-block
+// overhead (stream setup, partials), huge blocks lose parallel slack and
+// cache residency of the partials. The paper's choice (constant ~ O(KB))
+// sits on the flat middle of the curve.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common/harness.hpp"
+#include "benchmarks/bestcut.hpp"
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbds;                // NOLINT
+  using namespace pbds::bench;         // NOLINT
+  using namespace pbds::bench_common;  // NOLINT
+  auto opt = options::parse(argc, argv);
+
+  std::size_t n = opt.scaled(4'000'000);
+  auto events = bestcut_input(n);
+  std::printf("=== Ablation: delay-library block size, bestcut n = %zu ===\n\n",
+              n);
+  std::printf("%12s %10s %14s\n", "block size", "T(s)", "peak space MB");
+  std::printf("--------------------------------------\n");
+  std::vector<std::size_t> sizes = {64,    256,    1024,   2048,
+                                    8192,  65536,  524288, n / 2};
+  for (std::size_t b : sizes) {
+    scoped_block_size guard(b);
+    auto m = measure(
+        [&] { do_not_optimize(bestcut<delay_policy>(events)); }, opt);
+    std::printf("%12zu %10.4f %14.1f\n", b, m.seconds, mb(m.peak_bytes));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: flat optimum over a wide middle range; overheads at\n"
+      "both extremes (per-block costs vs. partials footprint/parallel slack).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation — the §3 force-vs-recompute tradeoff, measured.
+//
+// In the best-cut pipeline the initial map feeds the scan twice (phase 1
+// and the delayed phase 3). The fused version recomputes it (2 evals of f,
+// 2n + O(b) traffic); forcing evaluates f once but adds an n-element array
+// (1 eval, 4n + O(b) traffic). The crossover depends on how expensive f is
+// relative to memory bandwidth — exactly what the cost semantics lets a
+// user reason about without running anything. This bench sweeps the cost
+// of f and prints both strategies.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common/harness.hpp"
+#include "core/delayed.hpp"
+
+namespace {
+
+using namespace pbds;                // NOLINT
+using namespace pbds::bench_common;  // NOLINT
+namespace d = pbds::delayed;
+
+// An f whose cost is tunable: `work` rounds of a cheap transcendental.
+double expensive(double x, int work) {
+  double acc = x;
+  for (int k = 0; k < work; ++k) acc = std::sqrt(acc + 1.0);
+  return acc;
+}
+
+template <bool kForce>
+double pipeline(const parray<double>& in, int work) {
+  auto mapped = d::map([work](double x) { return expensive(x, work); },
+                       d::view(in));
+  auto run = [&](const auto& xs) {
+    auto [pre, total] = d::scan(
+        [](double a, double b) { return a + b; }, 0.0, xs);
+    (void)total;
+    return d::reduce([](double a, double b) { return a > b ? a : b; }, 0.0,
+                     pre);
+  };
+  if constexpr (kForce) {
+    return run(d::force(mapped));
+  } else {
+    return run(mapped);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = options::parse(argc, argv);
+  std::size_t n = opt.scaled(8'000'000);
+  auto in = parray<double>::tabulate(
+      n, [](std::size_t i) { return static_cast<double>(i % 97) + 1.0; });
+
+  std::printf("=== Ablation: recompute (fused) vs force, n = %zu ===\n\n", n);
+  std::printf("%10s | %12s %12s | %s\n", "f cost", "fused(s)", "forced(s)",
+              "winner");
+  std::printf("------------------------------------------------------\n");
+  for (int work : {0, 1, 2, 4, 8, 16, 32}) {
+    auto fused = measure(
+        [&] { do_not_optimize(pipeline<false>(in, work)); }, opt);
+    auto forced = measure(
+        [&] { do_not_optimize(pipeline<true>(in, work)); }, opt);
+    std::printf("%10d | %12.4f %12.4f | %s\n", work, fused.seconds,
+                forced.seconds,
+                fused.seconds <= forced.seconds ? "fused" : "forced");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: fused wins for cheap f (memory traffic dominates,\n"
+      "2n vs 4n); forced wins once f is expensive enough that evaluating it\n"
+      "twice costs more than an extra n-element array round-trip.\n");
+  return 0;
+}

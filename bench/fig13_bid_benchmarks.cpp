@@ -1,0 +1,85 @@
+// Fig. 13 — benchmarks with BID improvement: bestcut, bfs, bignum-add,
+// primes, tokens. For each, time and space under the three libraries
+// (array A, rad R, delay Ours), with the R/Ours improvement ratios that
+// isolate the benefit of the BID representation.
+//
+// Paper sizes are scaled down ~50x by default (see DESIGN.md §1); pass
+// --scale to adjust. The machine section of EXPERIMENTS.md maps these
+// numbers to the paper's.
+#include <cstdio>
+
+#include "bench_common/harness.hpp"
+#include "benchmarks/bestcut.hpp"
+#include "benchmarks/bfs.hpp"
+#include "benchmarks/bignum_add.hpp"
+#include "benchmarks/policies.hpp"
+#include "benchmarks/primes.hpp"
+#include "benchmarks/tokens.hpp"
+
+namespace {
+
+using namespace pbds;                // NOLINT
+using namespace pbds::bench;         // NOLINT
+using namespace pbds::bench_common;  // NOLINT
+
+template <typename F>
+void row(const char* name, const options& opt, const F& make_runner) {
+  auto a = measure(make_runner(array_policy{}), opt);
+  auto r = measure(make_runner(rad_policy{}), opt);
+  auto d = measure(make_runner(delay_policy{}), opt);
+  print_bid_row(name, a, r, d);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = pbds::bench_common::options::parse(argc, argv);
+  std::printf("=== Fig. 13: benchmarks with BID improvement ===\n");
+  std::printf("P = %u worker(s); sizes at scale %.3g of defaults\n\n",
+              sched::num_workers(), opt.scale);
+  print_bid_header();
+
+  {
+    auto events = bestcut_input(opt.scaled(4'000'000));
+    row("bestcut", opt, [&](auto p) {
+      using P = decltype(p);
+      return [&] { do_not_optimize(bestcut<P>(events)); };
+    });
+  }
+  {
+    auto g = graph::rmat(18, opt.scaled(3'000'000));
+    row("bfs", opt, [&](auto p) {
+      using P = decltype(p);
+      return [&] { do_not_optimize(bfs<P>(g, 0).size()); };
+    });
+  }
+  {
+    auto a = bignum::random_bignum(opt.scaled(8'000'000), 1);
+    auto b = bignum::random_bignum(opt.scaled(8'000'000), 2);
+    row("bignum-add", opt, [&](auto p) {
+      using P = decltype(p);
+      return [&] { do_not_optimize(bignum_add<P>(a, b).carry_out); };
+    });
+  }
+  {
+    auto n = static_cast<std::int64_t>(opt.scaled(4'000'000));
+    row("primes", opt, [&](auto p) {
+      using P = decltype(p);
+      return [&, n] { do_not_optimize(primes<P>(n).size()); };
+    });
+  }
+  {
+    auto text_in = text::random_words(opt.scaled(16'000'000), 7.0);
+    row("tokens", opt, [&](auto p) {
+      using P = decltype(p);
+      return [&] { do_not_optimize(tokens<P>(text_in).count); };
+    });
+  }
+
+  std::printf(
+      "\nExpected shape (paper, 72 cores; here P=%u): Ours <= R <= A in both\n"
+      "time and space; R/Ours space ratios largest for bestcut and primes.\n",
+      sched::num_workers());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Per-operation microbenchmarks (google-benchmark): each core sequence
+// operation under each of the three libraries, on a map-fused input, so
+// the per-op overhead and fusion benefit are visible in isolation.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "benchmarks/policies.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+constexpr std::size_t kN = 1 << 20;
+
+const parray<std::int64_t>& input() {
+  static auto a = parray<std::int64_t>::tabulate(kN, [](std::size_t i) {
+    return static_cast<std::int64_t>((i * 2654435761u) % 1000);
+  });
+  return a;
+}
+
+template <typename P>
+void bm_map_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    auto m = P::map([](std::int64_t x) { return x * 3 + 1; }, P::view(a));
+    benchmark::DoNotOptimize(P::reduce(
+        [](std::int64_t u, std::int64_t v) { return u + v; },
+        std::int64_t{0}, m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+template <typename P>
+void bm_scan(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    auto [pre, total] = P::scan(
+        [](std::int64_t u, std::int64_t v) { return u + v; },
+        std::int64_t{0}, P::view(a));
+    // Consume the scan so delayed phase 3 actually runs.
+    benchmark::DoNotOptimize(P::reduce(
+        [](std::int64_t u, std::int64_t v) { return u ^ v; },
+        std::int64_t{0}, pre));
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+template <typename P>
+void bm_filter_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    auto kept = P::filter([](std::int64_t x) { return x % 3 == 0; },
+                          P::view(a));
+    benchmark::DoNotOptimize(P::reduce(
+        [](std::int64_t u, std::int64_t v) { return u + v; },
+        std::int64_t{0}, kept));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+template <typename P>
+void bm_flatten_reduce(benchmark::State& state) {
+  constexpr std::size_t kOuter = kN / 16;
+  for (auto _ : state) {
+    auto nested = P::map(
+        [](std::size_t i) {
+          return P::tabulate(16, [i](std::size_t j) {
+            return static_cast<std::int64_t>(i + j);
+          });
+        },
+        P::iota(kOuter));
+    benchmark::DoNotOptimize(P::reduce(
+        [](std::int64_t u, std::int64_t v) { return u + v; },
+        std::int64_t{0}, P::flatten(nested)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+template <typename P>
+void bm_zip_map_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    auto z = P::zip(P::view(a), P::iota(kN));
+    auto m = P::map(
+        [](const std::pair<std::int64_t, std::size_t>& p) {
+          return p.first + static_cast<std::int64_t>(p.second);
+        },
+        z);
+    benchmark::DoNotOptimize(P::reduce(
+        [](std::int64_t u, std::int64_t v) { return u + v; },
+        std::int64_t{0}, m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+#define PBDS_BENCH_ALL(fn)                            \
+  BENCHMARK_TEMPLATE(fn, array_policy)->Unit(benchmark::kMillisecond); \
+  BENCHMARK_TEMPLATE(fn, rad_policy)->Unit(benchmark::kMillisecond);   \
+  BENCHMARK_TEMPLATE(fn, delay_policy)->Unit(benchmark::kMillisecond)
+
+PBDS_BENCH_ALL(bm_map_reduce);
+PBDS_BENCH_ALL(bm_scan);
+PBDS_BENCH_ALL(bm_filter_reduce);
+PBDS_BENCH_ALL(bm_flatten_reduce);
+PBDS_BENCH_ALL(bm_zip_map_reduce);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Stream-layer microbenchmarks (google-benchmark): the §4.4 claim at its
+// lowest level — a deeply nested stream composition must run at the speed
+// of the equivalent hand-written loop, because the whole nested template
+// type inlines. Each pair below is (hand loop, stream pipeline) over the
+// same computation.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "array/parray.hpp"
+#include "stream/streams.hpp"
+
+namespace {
+
+namespace st = pbds::stream;
+using pbds::parray;
+
+constexpr std::size_t kN = 1 << 20;
+
+const parray<std::int64_t>& input() {
+  static auto a = parray<std::int64_t>::tabulate(kN, [](std::size_t i) {
+    return static_cast<std::int64_t>((i * 40503u) % 1024);
+  });
+  return a;
+}
+
+void bm_hand_map_scan_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    std::int64_t acc = 0, best = 0;
+    const std::int64_t* p = a.data();
+    for (std::size_t i = 0; i < kN; ++i) {
+      std::int64_t mapped = p[i] * 3 + 1;
+      best = best > acc ? best : acc;  // consume the exclusive prefix
+      acc += mapped;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+void bm_stream_map_scan_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    const std::int64_t* p = a.data();
+    auto pipeline = st::scan_stream{
+        st::map_stream{st::pointer_stream<std::int64_t>{p},
+                       [](std::int64_t x) { return x * 3 + 1; }},
+        [](std::int64_t x, std::int64_t y) { return x + y; },
+        std::int64_t{0}};
+    std::int64_t best = st::reduce(
+        pipeline, kN,
+        [](std::int64_t x, std::int64_t y) { return x > y ? x : y; },
+        std::int64_t{0});
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+void bm_hand_zip_map_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    const std::int64_t* p = a.data();
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      acc += p[i] ^ static_cast<std::int64_t>(i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+void bm_stream_zip_map_reduce(benchmark::State& state) {
+  const auto& a = input();
+  for (auto _ : state) {
+    const std::int64_t* p = a.data();
+    auto pipeline = st::map_stream{
+        st::zip_stream{
+            st::pointer_stream<std::int64_t>{p},
+            st::tabulate_stream{[](std::size_t i) { return i; },
+                                std::size_t{0}}},
+        [](const std::pair<std::int64_t, std::size_t>& xi) {
+          return xi.first ^ static_cast<std::int64_t>(xi.second);
+        }};
+    std::int64_t acc = st::reduce(
+        pipeline, kN, [](std::int64_t x, std::int64_t y) { return x + y; },
+        std::int64_t{0});
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+
+BENCHMARK(bm_hand_map_scan_reduce)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_stream_map_scan_reduce)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_hand_zip_map_reduce)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_stream_zip_map_reduce)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

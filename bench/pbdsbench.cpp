@@ -1,0 +1,292 @@
+// pbdsbench — artifact-style benchmark runner (Appendix A.7).
+//
+// The paper's artifact builds one binary per BENCHMARK.VERSION and runs
+//     bin/linefit.delay.cpp.bin -n 500000000 -repeat 10 -warmup 3
+// This single dispatcher reproduces that interface:
+//     pbdsbench --bench linefit --impl delay -n 500000 -repeat 10 -warmup 3
+// printing one line per timed configuration: time (mean over repeats),
+// peak space, and bytes allocated per run.
+//
+// `--bench all` and `--impl all` sweep; `--list` enumerates benchmarks.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common/harness.hpp"
+#include "benchmarks/bestcut.hpp"
+#include "benchmarks/bfs.hpp"
+#include "benchmarks/bignum_add.hpp"
+#include "benchmarks/grep.hpp"
+#include "benchmarks/integrate.hpp"
+#include "benchmarks/inverted_index.hpp"
+#include "benchmarks/linearrec.hpp"
+#include "benchmarks/linefit.hpp"
+#include "benchmarks/mcss.hpp"
+#include "benchmarks/policies.hpp"
+#include "benchmarks/primes.hpp"
+#include "benchmarks/quickhull.hpp"
+#include "benchmarks/raycast.hpp"
+#include "benchmarks/spmv.hpp"
+#include "benchmarks/tokens.hpp"
+#include "benchmarks/wc.hpp"
+
+namespace {
+
+using namespace pbds;                // NOLINT
+using namespace pbds::bench;         // NOLINT
+using namespace pbds::bench_common;  // NOLINT
+
+struct cli {
+  std::string bench = "all";
+  std::string impl = "all";
+  std::size_t n = 0;  // 0 = per-benchmark default
+  options opt;
+};
+
+// One benchmark = a factory that captures the generated input and returns
+// a thunk per policy.
+struct entry {
+  std::size_t default_n;
+  // run(policy_name, n, opt) -> measurement
+  std::function<measurement(const std::string&, std::size_t,
+                            const options&)> run;
+};
+
+template <typename MakeRunner>
+measurement dispatch_impl(const std::string& impl, const options& opt,
+                          const MakeRunner& make) {
+  if (impl == "array") return measure(make(array_policy{}), opt);
+  if (impl == "rad") return measure(make(rad_policy{}), opt);
+  if (impl == "delay") return measure(make(delay_policy{}), opt);
+  std::fprintf(stderr, "unknown --impl '%s' (array|rad|delay|all)\n",
+               impl.c_str());
+  std::exit(2);
+}
+
+std::map<std::string, entry> registry() {
+  std::map<std::string, entry> r;
+  r["bestcut"] = {4'000'000, [](const std::string& impl, std::size_t n,
+                                const options& opt) {
+                    auto events = bestcut_input(n);
+                    return dispatch_impl(impl, opt, [&](auto p) {
+                      using P = decltype(p);
+                      return [&] { do_not_optimize(bestcut<P>(events)); };
+                    });
+                  }};
+  r["bfs"] = {3'000'000, [](const std::string& impl, std::size_t n,
+                            const options& opt) {
+                auto g = graph::rmat(18, n);
+                return dispatch_impl(impl, opt, [&](auto p) {
+                  using P = decltype(p);
+                  return [&] { do_not_optimize(bfs<P>(g, 0).size()); };
+                });
+              }};
+  r["bignum-add"] = {8'000'000, [](const std::string& impl, std::size_t n,
+                                   const options& opt) {
+                       auto a = bignum::random_bignum(n, 1);
+                       auto b = bignum::random_bignum(n, 2);
+                       return dispatch_impl(impl, opt, [&](auto p) {
+                         using P = decltype(p);
+                         return [&] {
+                           do_not_optimize(bignum_add<P>(a, b).carry_out);
+                         };
+                       });
+                     }};
+  r["primes"] = {4'000'000, [](const std::string& impl, std::size_t n,
+                               const options& opt) {
+                   return dispatch_impl(impl, opt, [&, n](auto p) {
+                     using P = decltype(p);
+                     return [n] {
+                       do_not_optimize(
+                           primes<P>(static_cast<std::int64_t>(n)).size());
+                     };
+                   });
+                 }};
+  r["tokens"] = {16'000'000, [](const std::string& impl, std::size_t n,
+                                const options& opt) {
+                   auto t = text::random_words(n, 7.0);
+                   return dispatch_impl(impl, opt, [&](auto p) {
+                     using P = decltype(p);
+                     return [&] { do_not_optimize(tokens<P>(t).count); };
+                   });
+                 }};
+  r["grep"] = {16'000'000, [](const std::string& impl, std::size_t n,
+                              const options& opt) {
+                 auto t = text::random_lines(n);
+                 return dispatch_impl(impl, opt, [&](auto p) {
+                   using P = decltype(p);
+                   return [&] {
+                     do_not_optimize(grep<P>(t, "ab").matching_lines);
+                   };
+                 });
+               }};
+  r["integrate"] = {16'000'000, [](const std::string& impl, std::size_t n,
+                                   const options& opt) {
+                      return dispatch_impl(impl, opt, [n](auto p) {
+                        using P = decltype(p);
+                        return [n] { do_not_optimize(integrate<P>(n)); };
+                      });
+                    }};
+  r["linearrec"] = {8'000'000, [](const std::string& impl, std::size_t n,
+                                  const options& opt) {
+                      auto coefs = linearrec_input(n);
+                      return dispatch_impl(impl, opt, [&](auto p) {
+                        using P = decltype(p);
+                        return [&] {
+                          do_not_optimize(linearrec<P>(coefs).size());
+                        };
+                      });
+                    }};
+  r["linefit"] = {8'000'000, [](const std::string& impl, std::size_t n,
+                                const options& opt) {
+                    auto pts = linefit_input(n);
+                    return dispatch_impl(impl, opt, [&](auto p) {
+                      using P = decltype(p);
+                      return [&] {
+                        do_not_optimize(linefit<P>(pts).slope);
+                      };
+                    });
+                  }};
+  r["mcss"] = {16'000'000, [](const std::string& impl, std::size_t n,
+                              const options& opt) {
+                 auto a = mcss_input(n);
+                 return dispatch_impl(impl, opt, [&](auto p) {
+                   using P = decltype(p);
+                   return [&] { do_not_optimize(mcss<P>(a)); };
+                 });
+               }};
+  r["quickhull"] = {1'000'000, [](const std::string& impl, std::size_t n,
+                                  const options& opt) {
+                      auto pts = geom::points_in_disk(n);
+                      return dispatch_impl(impl, opt, [&](auto p) {
+                        using P = decltype(p);
+                        return [&] { do_not_optimize(quickhull<P>(pts)); };
+                      });
+                    }};
+  r["sparse-mxv"] = {8'000'000, [](const std::string& impl, std::size_t n,
+                                   const options& opt) {
+                       std::size_t rows = n / 100 + 1;
+                       auto m = spmv_input(rows, 100);
+                       auto x = spmv_vector(rows);
+                       return dispatch_impl(impl, opt, [&](auto p) {
+                         using P = decltype(p);
+                         return [&] {
+                           do_not_optimize(spmv<P>(m, x).size());
+                         };
+                       });
+                     }};
+  r["wc"] = {16'000'000, [](const std::string& impl, std::size_t n,
+                            const options& opt) {
+               auto t = text::random_lines(n);
+               return dispatch_impl(impl, opt, [&](auto p) {
+                 using P = decltype(p);
+                 return [&] { do_not_optimize(wc<P>(t).words); };
+               });
+             }};
+  r["inv-index"] = {16'000'000, [](const std::string& impl, std::size_t n,
+                                   const options& opt) {
+                      auto t = text::random_lines(n, 60.0, 8.0);
+                      return dispatch_impl(impl, opt, [&](auto p) {
+                        using P = decltype(p);
+                        return [&] {
+                          do_not_optimize(build_index<P>(t)[0].postings);
+                        };
+                      });
+                    }};
+  r["raycast"] = {20'000, [](const std::string& impl, std::size_t n,
+                             const options& opt) {
+                    auto tris = geom::random_triangles(2'000);
+                    auto rays = geom::random_rays(n);
+                    return dispatch_impl(impl, opt, [&](auto p) {
+                      using P = decltype(p);
+                      return [&] {
+                        do_not_optimize(raycast<P>(rays, tris).size());
+                      };
+                    });
+                  }};
+  return r;
+}
+
+cli parse_cli(int argc, char** argv) {
+  cli c;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    auto is = [&](const char* f) { return std::strcmp(argv[i], f) == 0; };
+    if (is("--bench") && i + 1 < argc) {
+      c.bench = argv[++i];
+    } else if (is("--impl") && i + 1 < argc) {
+      c.impl = argv[++i];
+    } else if (is("-n") && i + 1 < argc) {
+      c.n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (is("-repeat") && i + 1 < argc) {
+      c.opt.repeat = std::atoi(argv[++i]);
+    } else if (is("-warmup") && i + 1 < argc) {
+      c.opt.warmup = std::atof(argv[++i]);
+    } else if (is("--list")) {
+      for (const auto& [name, e] : registry()) {
+        std::printf("%-12s (default n = %zu)\n", name.c_str(), e.default_n);
+      }
+      std::exit(0);
+    } else if (is("--help") || is("-h")) {
+      std::printf(
+          "usage: %s [--bench NAME|all] [--impl array|rad|delay|all]\n"
+          "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // Remaining flags (e.g. --scale) go to the common parser.
+  c.opt = options::parse(static_cast<int>(passthrough.size()),
+                         passthrough.data());
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli c = parse_cli(argc, argv);
+  // Re-apply -repeat/-warmup after options::parse reset them.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-repeat") == 0 && i + 1 < argc)
+      c.opt.repeat = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "-warmup") == 0 && i + 1 < argc)
+      c.opt.warmup = std::atof(argv[i + 1]);
+  }
+
+  auto reg = registry();
+  std::vector<std::string> benches;
+  if (c.bench == "all") {
+    for (const auto& [name, e] : reg) benches.push_back(name);
+  } else if (reg.count(c.bench)) {
+    benches.push_back(c.bench);
+  } else {
+    std::fprintf(stderr, "unknown --bench '%s' (try --list)\n",
+                 c.bench.c_str());
+    return 2;
+  }
+  std::vector<std::string> impls =
+      c.impl == "all" ? std::vector<std::string>{"array", "rad", "delay"}
+                      : std::vector<std::string>{c.impl};
+
+  std::printf("%-12s %-6s %12s %10s %12s %12s\n", "benchmark", "impl", "n",
+              "time(s)", "peak MB", "alloc MB/run");
+  for (const auto& name : benches) {
+    const auto& e = reg.at(name);
+    std::size_t n = c.n ? c.n : c.opt.scaled(e.default_n);
+    for (const auto& impl : impls) {
+      auto m = e.run(impl, n, c.opt);
+      std::printf("%-12s %-6s %12zu %10.4f %12.1f %12.1f\n", name.c_str(),
+                  impl.c_str(), n, m.seconds, mb(m.peak_bytes),
+                  mb(m.allocated_bytes));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// parray<T> — the tracked parallel array underlying all three libraries.
+//
+// This is the `array` type of the paper's Fig. 7: a fixed-size array that
+// is constructed in parallel (a.tabulate) and whose allocation is visible
+// to the space accounting. It is move-only (copies of multi-gigabyte
+// buffers should never be accidental; use clone()).
+//
+// Element lifetimes: tabulate/filled construct every element; the
+// uninitialized factory leaves elements unconstructed and the caller must
+// construct all of them (e.g. to_array walking a delayed sequence) before
+// the parray is destroyed, unless T is trivially destructible.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "memory/tracking.hpp"
+#include "sched/parallel.hpp"
+
+namespace pbds {
+
+template <typename T>
+class parray {
+ public:
+  using value_type = T;
+
+  parray() noexcept = default;
+
+  ~parray() { release(); }
+
+  parray(parray&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        n_(std::exchange(other.n_, 0)) {}
+
+  parray& operator=(parray&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      n_ = std::exchange(other.n_, 0);
+    }
+    return *this;
+  }
+
+  parray(const parray&) = delete;
+  parray& operator=(const parray&) = delete;
+
+  // Allocate n elements without constructing them.
+  static parray uninitialized(std::size_t n) { return parray(n); }
+
+  // Parallel tabulation: element i is f(i). `granularity` as parallel_for.
+  template <typename F>
+  static parray tabulate(std::size_t n, F&& f, std::size_t granularity = 0) {
+    parray a(n);
+    T* p = a.data_;
+    parallel_for(
+        0, n, [&](std::size_t i) { ::new (p + i) T(f(i)); }, granularity);
+    return a;
+  }
+
+  static parray filled(std::size_t n, const T& v) {
+    return tabulate(n, [&](std::size_t) { return v; });
+  }
+
+  // Deep copy (deliberately explicit).
+  [[nodiscard]] parray clone() const {
+    const T* p = data_;
+    return tabulate(n_, [p](std::size_t i) { return p[i]; });
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < n_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < n_);
+    return data_[i];
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + n_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + n_; }
+
+ private:
+  explicit parray(std::size_t n) : n_(n) {
+    if (n_ > 0) {
+      memory::note_alloc(n_ * sizeof(T));
+      data_ = static_cast<T*>(
+          ::operator new(n_ * sizeof(T), std::align_val_t(alignof(T))));
+    }
+  }
+
+  void release() noexcept {
+    if (data_ == nullptr) return;
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      T* p = data_;
+      parallel_for(0, n_, [p](std::size_t i) { p[i].~T(); });
+    }
+    memory::note_free(n_ * sizeof(T));
+    ::operator delete(data_, std::align_val_t(alignof(T)));
+    data_ = nullptr;
+    n_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+}  // namespace pbds

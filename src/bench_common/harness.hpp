@@ -1,0 +1,142 @@
+// Benchmark harness: the artifact's measurement protocol (Appendix A.7)
+// and table formatting in the layout of Figs. 13/14.
+//
+// Protocol per configuration: run the kernel back-to-back until the warmup
+// period has expired, then time `repeat` back-to-back runs and report the
+// average. Space is the peak of the byte-exact allocation accounting
+// (pbds::memory) across the timed runs — the deterministic analogue of the
+// paper's max-residency measurement (see DESIGN.md §1).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "memory/tracking.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pbds::bench_common {
+
+// Keep a computed value alive past the optimizer.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+struct options {
+  double scale = 1.0;   // multiply default problem sizes
+  int repeat = 3;       // timed repetitions
+  double warmup = 0.25; // seconds of back-to-back warmup
+  std::vector<unsigned> procs;  // worker counts to sweep (fig15)
+
+  static options parse(int argc, char** argv) {
+    options o;
+    for (int i = 1; i < argc; ++i) {
+      auto is = [&](const char* f) { return std::strcmp(argv[i], f) == 0; };
+      if (is("--scale") && i + 1 < argc) {
+        o.scale = std::atof(argv[++i]);
+      } else if (is("--repeat") && i + 1 < argc) {
+        o.repeat = std::atoi(argv[++i]);
+      } else if (is("--warmup") && i + 1 < argc) {
+        o.warmup = std::atof(argv[++i]);
+      } else if (is("--procs") && i + 1 < argc) {
+        o.procs.clear();
+        for (const char* tok = std::strtok(argv[++i], ","); tok != nullptr;
+             tok = std::strtok(nullptr, ",")) {
+          o.procs.push_back(static_cast<unsigned>(std::atoi(tok)));
+        }
+      } else if (is("--help") || is("-h")) {
+        std::printf(
+            "usage: %s [--scale S] [--repeat R] [--warmup SECONDS] "
+            "[--procs P1,P2,...]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  [[nodiscard]] std::size_t scaled(std::size_t n) const {
+    auto s = static_cast<std::size_t>(static_cast<double>(n) * scale);
+    return s == 0 ? 1 : s;
+  }
+};
+
+struct measurement {
+  double seconds = 0;          // mean over timed runs
+  std::int64_t peak_bytes = 0; // max residency during timed runs
+  std::int64_t allocated_bytes = 0;  // per run
+};
+
+// Run `f` under the warmup+repeat protocol.
+template <typename F>
+measurement measure(const F& f, const options& opt) {
+  using clock = std::chrono::steady_clock;
+  auto deadline =
+      clock::now() + std::chrono::duration<double>(opt.warmup);
+  do {
+    f();
+  } while (clock::now() < deadline);
+  memory::space_meter meter;
+  auto t0 = clock::now();
+  for (int r = 0; r < opt.repeat; ++r) f();
+  auto t1 = clock::now();
+  measurement m;
+  m.seconds = std::chrono::duration<double>(t1 - t0).count() / opt.repeat;
+  m.peak_bytes = meter.peak_bytes();
+  m.allocated_bytes = meter.allocated_bytes() / opt.repeat;
+  return m;
+}
+
+inline double mb(std::int64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline double ratio(double a, double b) { return b == 0 ? 0 : a / b; }
+
+// --- Fig. 13-style row: A / R / Ours with R/Ours ratios ------------------------
+
+inline void print_bid_header() {
+  std::printf("%-12s | %9s %9s %9s %7s | %9s %9s %9s %7s\n", "benchmark",
+              "A(s)", "R(s)", "Ours(s)", "R/Ours", "A(MB)", "R(MB)",
+              "Ours(MB)", "R/Ours");
+  std::printf("%.*s\n", 100,
+              "--------------------------------------------------------------"
+              "----------------------------------------");
+}
+
+inline void print_bid_row(const std::string& name, const measurement& a,
+                          const measurement& r, const measurement& ours) {
+  std::printf(
+      "%-12s | %9.4f %9.4f %9.4f %7.2f | %9.1f %9.1f %9.1f %7.2f\n",
+      name.c_str(), a.seconds, r.seconds, ours.seconds,
+      ratio(r.seconds, ours.seconds), mb(a.peak_bytes), mb(r.peak_bytes),
+      mb(ours.peak_bytes),
+      ratio(static_cast<double>(r.peak_bytes),
+            static_cast<double>(ours.peak_bytes)));
+}
+
+// --- Fig. 14-style row: A vs Ours with A/Ours ratios ---------------------------
+
+inline void print_rad_header() {
+  std::printf("%-12s | %9s %9s %7s | %9s %9s %7s\n", "benchmark", "A(s)",
+              "Ours(s)", "A/Ours", "A(MB)", "Ours(MB)", "A/Ours");
+  std::printf("%.*s\n", 80,
+              "--------------------------------------------------------------"
+              "------------------");
+}
+
+inline void print_rad_row(const std::string& name, const measurement& a,
+                          const measurement& ours) {
+  std::printf("%-12s | %9.4f %9.4f %7.2f | %9.1f %9.1f %7.2f\n", name.c_str(),
+              a.seconds, ours.seconds, ratio(a.seconds, ours.seconds),
+              mb(a.peak_bytes), mb(ours.peak_bytes),
+              ratio(static_cast<double>(a.peak_bytes),
+                    static_cast<double>(ours.peak_bytes)));
+}
+
+}  // namespace pbds::bench_common

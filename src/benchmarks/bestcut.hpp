@@ -1,0 +1,62 @@
+// bestcut — kd-tree best cut via the surface-area heuristic (§3, Fig. 4).
+//
+// Pipeline: map f -> scan (+) -> map g -> reduce h. This is the paper's
+// canonical BID example (Fig. 5): fused, it makes two passes over the
+// input (phase 1 of the scan, then phase 3 fused through the second map
+// into the reduce) with O(#blocks) writes; unfused it makes 8n + O(b)
+// reads+writes.
+//
+// Input: n axis events sorted by coordinate, each flagged if a bounding
+// box *ends* there. The cut cost at event i weighs boxes fully left of the
+// cut by the left extent and the rest by the right extent; the benchmark
+// returns the minimum cost over all candidate cuts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "array/parray.hpp"
+#include "geom/geom.hpp"
+
+namespace pbds::bench {
+
+using geom::axis_event;
+
+inline parray<axis_event> bestcut_input(std::size_t n,
+                                        std::uint64_t seed = 13) {
+  return geom::bestcut_events(n, seed);
+}
+
+template <typename P>
+double bestcut(const parray<axis_event>& events) {
+  std::size_t n = events.size();
+  auto is_end = P::map(
+      [](const axis_event& e) -> std::uint64_t { return e.is_end; },
+      P::view(events));
+  auto [end_counts, total] = P::scan(
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      std::uint64_t{0}, is_end);
+  (void)total;
+  auto costs = P::map(
+      [n](const std::pair<std::uint64_t, axis_event>& ce) {
+        return geom::sah_cost(ce.second.coord, ce.first, n);
+      },
+      P::zip(end_counts, P::view(events)));
+  return P::reduce([](double a, double b) { return a < b ? a : b; },
+                   std::numeric_limits<double>::infinity(), costs);
+}
+
+// Sequential reference.
+inline double bestcut_reference(const parray<axis_event>& events) {
+  std::size_t n = events.size();
+  std::uint64_t ends = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    double c = geom::sah_cost(events[i].coord, ends, n);
+    if (c < best) best = c;
+    ends += events[i].is_end;
+  }
+  return best;
+}
+
+}  // namespace pbds::bench

@@ -1,0 +1,56 @@
+// Stream-of-blocks version of bestcut, for the §6.5 comparison (Fig. 16).
+//
+// "The stream-of-blocks version maintains a small array (of size B, the
+// block size) which undergoes these operations [map, scan, map, reduce],
+// in that order, before then moving on to the next block. This continues
+// iteratively until all blocks have been processed. All parallelism occurs
+// within blocks, rather than across blocks."
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "array/parray.hpp"
+#include "geom/geom.hpp"
+#include "sched/parallel.hpp"
+#include "sob/stream_of_blocks.hpp"
+
+namespace pbds::bench {
+
+inline double bestcut_sob(const parray<geom::axis_event>& events,
+                          std::size_t sob_block) {
+  std::size_t n = events.size();
+  const geom::axis_event* ev = events.data();
+  // The one live block, reused across iterations.
+  auto counts = parray<std::uint64_t>::uninitialized(sob_block);
+  std::uint64_t* cb = counts.data();
+  auto costs = parray<double>::uninitialized(sob_block);
+  double* xb = costs.data();
+
+  std::uint64_t running_ends = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t lo = 0; lo < n; lo += sob_block) {
+    std::size_t len = std::min(sob_block, n - lo);
+    // map f: end flags into the block buffer (parallel within block).
+    parallel_for(0, len, [&, ev, cb](std::size_t i) {
+      cb[i] = ev[lo + i].is_end;
+    });
+    // scan within the block, seeded with the running total.
+    running_ends = sob::range_scan_exclusive(
+        cb, len,
+        [](std::uint64_t a, std::uint64_t b) { return a + b; },
+        running_ends);
+    // map g: costs (parallel within block).
+    parallel_for(0, len, [&, ev, cb, xb](std::size_t i) {
+      xb[i] = geom::sah_cost(ev[lo + i].coord, cb[i], n);
+    });
+    // reduce h: min within block, folded into the running best.
+    double block_min = sob::range_reduce(
+        xb, len, [](double a, double b) { return a < b ? a : b; },
+        std::numeric_limits<double>::infinity());
+    best = best < block_min ? best : block_min;
+  }
+  return best;
+}
+
+}  // namespace pbds::bench

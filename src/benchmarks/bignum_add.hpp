@@ -1,0 +1,54 @@
+// bignum-add — addition of two base-256 bignums (§6: 500M bytes each).
+//
+// Pipeline: zip -> map (digit sums & carry symbols) -> scan (carry
+// resolution) -> zip -> map (apply carries) -> toArray. The scan fuses with
+// the symbol map on its input side and with the resolution map on its
+// output side, so the fused version writes only the final digits; the
+// array version materializes sums, symbols, and carries separately.
+//
+// Note the deliberate recompute: the digit sums are evaluated twice (once
+// in scan phase 1, once when resolving), the same map-recompute tradeoff
+// Fig. 5 shows for bestcut.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "array/parray.hpp"
+#include "bignum/bignum.hpp"
+
+namespace pbds::bench {
+
+using bignum::carry;
+using bignum::digit;
+
+struct bignum_sum {
+  parray<digit> digits;  // low n digits, little-endian
+  digit carry_out = 0;   // final carry (the (n+1)-th digit)
+};
+
+// a + b for equal-length bignums.
+template <typename P>
+bignum_sum bignum_add(const parray<digit>& a, const parray<digit>& b) {
+  auto sums = P::map(
+      [](const std::pair<digit, digit>& dd) -> unsigned {
+        return static_cast<unsigned>(dd.first) + dd.second;
+      },
+      P::zip(P::view(a), P::view(b)));
+  auto symbols = P::map([](unsigned s) { return bignum::classify(s); }, sums);
+  // The scan seed must be the identity of combine, which is PROPAGATE: a
+  // prefix that is all propagates resolves to "no incoming carry", exactly
+  // the boundary condition at position 0 (resolve only adds on GENERATE).
+  auto [carries, last] =
+      P::scan([](carry x, carry y) { return bignum::combine(x, y); },
+              carry::propagate, symbols);
+  auto digits = P::map(
+      [](const std::pair<unsigned, carry>& sc) {
+        return bignum::resolve(sc.first, sc.second);
+      },
+      P::zip(sums, carries));
+  return bignum_sum{P::to_array(std::move(digits)),
+                    static_cast<digit>(last == carry::generate ? 1 : 0)};
+}
+
+}  // namespace pbds::bench

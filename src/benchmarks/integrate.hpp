@@ -1,0 +1,32 @@
+// integrate — midpoint-rule integral of sqrt(1/x) over [1, 1000] with n
+// sample points (§6). Pure RAD fusion: tabulate -> map -> reduce touches
+// O(1) memory beyond the accumulators; the array version materializes the
+// n-point sample array (the paper's headline 250x space reduction).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "array/parray.hpp"
+
+namespace pbds::bench {
+
+template <typename P>
+double integrate(std::size_t n, double lo = 1.0, double hi = 1000.0) {
+  double dx = (hi - lo) / static_cast<double>(n);
+  auto xs = P::map(
+      [lo, dx](std::size_t i) {
+        return lo + (static_cast<double>(i) + 0.5) * dx;
+      },
+      P::iota(n));
+  auto fs = P::map([](double x) { return std::sqrt(1.0 / x); }, xs);
+  return dx *
+         P::reduce([](double a, double b) { return a + b; }, 0.0, fs);
+}
+
+// Closed form of the integral, for sanity bounds in tests.
+inline double integrate_exact(double lo = 1.0, double hi = 1000.0) {
+  return 2.0 * (std::sqrt(hi) - std::sqrt(lo));
+}
+
+}  // namespace pbds::bench

@@ -1,0 +1,59 @@
+// linearrec — solve the linear recurrence R_i = x_i * R_{i-1} + y_i
+// (§6: 500M pairs of doubles).
+//
+// Each input pair is an affine map r -> x*r + y; composing them left to
+// right with an inclusive scan gives the prefix composition, whose constant
+// term evaluated at R_{-1} = 0 is R_i. With BIDs the scan's phase 3 fuses
+// with the final projection map into the output write, so the (16-byte)
+// coefficient pairs are never stored — only the 8-byte results.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "array/parray.hpp"
+#include "random/rng.hpp"
+
+namespace pbds::bench {
+
+// (a, b) represents r -> a*r + b.
+using affine = std::pair<double, double>;
+
+// Compose p then q: q(p(r)) = (p.a * q.a, p.b * q.a + q.b).
+constexpr affine affine_compose(const affine& p, const affine& q) noexcept {
+  return affine{p.first * q.first, p.second * q.first + q.second};
+}
+
+inline constexpr affine affine_identity{1.0, 0.0};
+
+// Random coefficients with |x| <= ~1 so the recurrence stays bounded.
+inline parray<affine> linearrec_input(std::size_t n, std::uint64_t seed = 17) {
+  random::rng gen(seed);
+  return parray<affine>::tabulate(n, [&](std::size_t i) {
+    return affine{gen.uniform(2 * i, -0.9, 0.9),
+                  gen.uniform(2 * i + 1, -1.0, 1.0)};
+  });
+}
+
+template <typename P>
+parray<double> linearrec(const parray<affine>& coefs) {
+  auto [prefix, total] = P::scan_inclusive(
+      [](const affine& p, const affine& q) { return affine_compose(p, q); },
+      affine_identity, P::view(coefs));
+  (void)total;
+  // R_{-1} = 0, so R_i is the constant term of the prefix composition.
+  return P::to_array(
+      P::map([](const affine& c) { return c.second; }, prefix));
+}
+
+inline std::vector<double> linearrec_reference(const parray<affine>& coefs) {
+  std::vector<double> r(coefs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < coefs.size(); ++i) {
+    acc = coefs[i].first * acc + coefs[i].second;
+    r[i] = acc;
+  }
+  return r;
+}
+
+}  // namespace pbds::bench

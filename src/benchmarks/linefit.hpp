@@ -1,0 +1,78 @@
+// linefit — least-squares line through n 2D points (§6: 500M points).
+//
+// Two map+reduce passes: one for the means, one for the centered moments.
+// With RAD fusion each pass reads the input once and writes O(#blocks);
+// the array version materializes a pair array per pass (§6.2 uses this
+// benchmark for its memory-bandwidth analysis: 2 passes x 16 bytes/point).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "array/parray.hpp"
+#include "geom/geom.hpp"
+#include "random/rng.hpp"
+
+namespace pbds::bench {
+
+struct line {
+  double slope = 0;
+  double intercept = 0;
+};
+
+// Points scattered around y = 2x + 1 with noise.
+inline parray<geom::point2d> linefit_input(std::size_t n,
+                                           std::uint64_t seed = 19) {
+  random::rng gen(seed);
+  return parray<geom::point2d>::tabulate(n, [&](std::size_t i) {
+    double x = gen.uniform(2 * i, -10.0, 10.0);
+    double noise = gen.uniform(2 * i + 1, -0.5, 0.5);
+    return geom::point2d{x, 2.0 * x + 1.0 + noise};
+  });
+}
+
+template <typename P>
+line linefit(const parray<geom::point2d>& pts) {
+  std::size_t n = pts.size();
+  auto add2 = [](const std::pair<double, double>& a,
+                 const std::pair<double, double>& b) {
+    return std::pair<double, double>(a.first + b.first, a.second + b.second);
+  };
+  auto sums = P::reduce(
+      add2, std::pair<double, double>(0.0, 0.0),
+      P::map([](const geom::point2d& p) {
+        return std::pair<double, double>(p.x, p.y);
+      },
+             P::view(pts)));
+  double mx = sums.first / static_cast<double>(n);
+  double my = sums.second / static_cast<double>(n);
+  auto moments = P::reduce(
+      add2, std::pair<double, double>(0.0, 0.0),
+      P::map(
+          [mx, my](const geom::point2d& p) {
+            return std::pair<double, double>((p.x - mx) * (p.x - mx),
+                                             (p.x - mx) * (p.y - my));
+          },
+          P::view(pts)));
+  double slope = moments.first == 0.0 ? 0.0 : moments.second / moments.first;
+  return line{slope, my - slope * mx};
+}
+
+inline line linefit_reference(const parray<geom::point2d>& pts) {
+  double sx = 0, sy = 0;
+  std::size_t n = pts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += pts[i].x;
+    sy += pts[i].y;
+  }
+  double mx = sx / static_cast<double>(n), my = sy / static_cast<double>(n);
+  double stt = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    stt += (pts[i].x - mx) * (pts[i].x - mx);
+    sxy += (pts[i].x - mx) * (pts[i].y - my);
+  }
+  double slope = stt == 0.0 ? 0.0 : sxy / stt;
+  return line{slope, my - slope * mx};
+}
+
+}  // namespace pbds::bench

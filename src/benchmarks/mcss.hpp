@@ -1,0 +1,76 @@
+// mcss — maximum contiguous subsequence sum (§6: 500M 64-bit integers).
+//
+// The classic 4-tuple monoid (total, best prefix, best suffix, best
+// anywhere) reduced over the input; with RAD fusion this is one read pass
+// and O(1) writes — the paper reports this benchmark moving from O(n)
+// reads+writes to O(n) reads + O(1) writes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "array/parray.hpp"
+#include "random/rng.hpp"
+
+namespace pbds::bench {
+
+struct mcss_state {
+  std::int64_t total;
+  std::int64_t best_prefix;
+  std::int64_t best_suffix;
+  std::int64_t best;
+  friend bool operator==(const mcss_state&, const mcss_state&) = default;
+};
+
+// "Minus infinity" that is safe to add to itself without overflow.
+inline constexpr std::int64_t mcss_neg_inf =
+    std::numeric_limits<std::int64_t>::min() / 4;
+
+inline constexpr mcss_state mcss_identity{0, mcss_neg_inf, mcss_neg_inf,
+                                          mcss_neg_inf};
+
+constexpr mcss_state mcss_combine(const mcss_state& a,
+                                  const mcss_state& b) noexcept {
+  return mcss_state{
+      a.total + b.total, std::max(a.best_prefix, a.total + b.best_prefix),
+      std::max(b.best_suffix, b.total + a.best_suffix),
+      std::max({a.best, b.best, a.best_suffix + b.best_prefix})};
+}
+
+constexpr mcss_state mcss_embed(std::int64_t v) noexcept {
+  return mcss_state{v, v, v, v};
+}
+
+// Values in [-100, 100] so the maximum subsequence is nontrivial.
+inline parray<std::int64_t> mcss_input(std::size_t n,
+                                       std::uint64_t seed = 23) {
+  random::rng gen(seed);
+  return parray<std::int64_t>::tabulate(n, [&](std::size_t i) {
+    return static_cast<std::int64_t>(gen.below(i, 201)) - 100;
+  });
+}
+
+template <typename P>
+std::int64_t mcss(const parray<std::int64_t>& a) {
+  auto states = P::map([](std::int64_t v) { return mcss_embed(v); },
+                       P::view(a));
+  return P::reduce(
+             [](const mcss_state& x, const mcss_state& y) {
+               return mcss_combine(x, y);
+             },
+             mcss_identity, states)
+      .best;
+}
+
+// Kadane's algorithm (nonempty subsequences).
+inline std::int64_t mcss_reference(const parray<std::int64_t>& a) {
+  std::int64_t best = mcss_neg_inf, cur = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cur = std::max(a[i], cur + a[i]);
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+}  // namespace pbds::bench

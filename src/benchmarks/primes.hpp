@@ -1,0 +1,71 @@
+// primes — all primes below n via a parallel recursive sieve (§6: primes
+// less than 100M).
+//
+// Recursively compute the primes up to sqrt(n), then mark composites by
+// flattening, for each such prime p, the delayed sequence of its multiples
+// <2p, 3p, ...> up to n, and finally filter the unmarked indices. flatten
+// and filter are BID operations: the composites sequence (size ~ n ln ln n)
+// and the pre-filter index sequence are never materialized in the delayed
+// version.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "array/parray.hpp"
+
+namespace pbds::bench {
+
+template <typename P>
+parray<std::int64_t> primes(std::int64_t n) {  // primes in [2, n]
+  if (n < 2) return {};
+  if (n < 8) {
+    // Base case: tiny sieve, sequentially.
+    std::int64_t small[] = {2, 3, 5, 7};
+    std::size_t cnt = 0;
+    while (cnt < 4 && small[cnt] <= n) ++cnt;
+    const std::int64_t* p = small;
+    return parray<std::int64_t>::tabulate(
+        cnt, [p](std::size_t i) { return p[i]; });
+  }
+  auto sqrt_primes =
+      primes<P>(static_cast<std::int64_t>(std::sqrt(static_cast<double>(n))));
+  auto flags = parray<std::atomic<std::uint8_t>>::tabulate(
+      static_cast<std::size_t>(n) + 1, [](std::size_t) { return 1; });
+  auto composites = P::flatten(P::map(
+      [n](std::int64_t p) {
+        auto k = static_cast<std::size_t>(n / p - 1);
+        return P::tabulate(k, [p](std::size_t m) {
+          return static_cast<std::int64_t>(m + 2) * p;
+        });
+      },
+      P::view(sqrt_primes)));
+  P::apply_each(composites, [&flags](std::int64_t c) {
+    flags[static_cast<std::size_t>(c)].store(0, std::memory_order_relaxed);
+  });
+  return P::to_array(P::filter(
+      [&flags](std::int64_t i) {
+        return flags[static_cast<std::size_t>(i)].load(
+                   std::memory_order_relaxed) != 0;
+      },
+      P::tabulate(static_cast<std::size_t>(n) - 1, [](std::size_t i) {
+        return static_cast<std::int64_t>(i) + 2;
+      })));
+}
+
+// Deterministic count for validation (prime-counting values).
+inline std::size_t reference_prime_count(std::int64_t n) {
+  if (n < 2) return 0;
+  std::vector<std::uint8_t> sieve(static_cast<std::size_t>(n) + 1, 1);
+  std::size_t count = 0;
+  for (std::int64_t i = 2; i <= n; ++i) {
+    if (!sieve[static_cast<std::size_t>(i)]) continue;
+    ++count;
+    for (std::int64_t j = i * i; j <= n; j += i)
+      sieve[static_cast<std::size_t>(j)] = 0;
+  }
+  return count;
+}
+
+}  // namespace pbds::bench

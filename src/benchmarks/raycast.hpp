@@ -1,0 +1,52 @@
+// raycast — first-hit ray casting against a triangle soup, the
+// ray-triangle intersection workload the paper reports improving in PBBS
+// (§1). Nested parallelism in the sparse-mxv mold: an outer tabulate over
+// rays, an inner map+reduce over the triangles computing the nearest hit.
+// With fusion, the per-ray sequence of candidate hit distances is never
+// materialized; the eager baseline allocates an n_triangles-sized
+// temporary per ray.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "array/parray.hpp"
+#include "geom/geom3d.hpp"
+
+namespace pbds::bench {
+
+inline constexpr double kNoHit = std::numeric_limits<double>::infinity();
+
+// Distance to the nearest triangle for each ray (kNoHit if none).
+template <typename P>
+parray<double> raycast(const parray<geom::ray>& rays,
+                       const parray<geom::triangle>& tris) {
+  const geom::ray* rp = rays.data();
+  const geom::triangle* tp = tris.data();
+  std::size_t nt = tris.size();
+  return P::to_array(P::tabulate(rays.size(), [rp, tp, nt](std::size_t i) {
+    auto hits = P::map(
+        [r = rp[i], tp](std::size_t k) {
+          auto t = geom::intersect(r, tp[k]);
+          return t ? *t : kNoHit;
+        },
+        P::iota(nt));
+    return P::reduce([](double a, double b) { return a < b ? a : b; },
+                     kNoHit, hits);
+  }));
+}
+
+inline std::vector<double> raycast_reference(
+    const parray<geom::ray>& rays, const parray<geom::triangle>& tris) {
+  std::vector<double> out(rays.size(), kNoHit);
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    for (std::size_t k = 0; k < tris.size(); ++k) {
+      if (auto t = geom::intersect(rays[i], tris[k])) {
+        if (*t < out[i]) out[i] = *t;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pbds::bench

@@ -1,0 +1,78 @@
+// tokens — split text into words (§6: 500M characters, average word
+// length 7).
+//
+// Word starts and word ends are found with two filters over the index
+// space; zipping them gives (start, end) pairs — with block-delayed
+// sequences both filters keep their survivors packed per block and the zip
+// fuses blockwise, so no index array of size n is ever materialized. The
+// kernel reduces the word list to (count, total length, positional hash) so
+// the three versions can be compared exactly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "array/parray.hpp"
+#include "text/text.hpp"
+
+namespace pbds::bench {
+
+struct tokens_result {
+  std::uint64_t count = 0;
+  std::uint64_t total_len = 0;
+  std::uint64_t hash = 0;
+  friend bool operator==(const tokens_result&, const tokens_result&) = default;
+};
+
+template <typename P>
+tokens_result tokens(const parray<char>& text) {
+  std::size_t n = text.size();
+  const char* s = text.data();
+  auto starts = P::filter(
+      [s](std::size_t i) {
+        return !text::is_space(s[i]) && (i == 0 || text::is_space(s[i - 1]));
+      },
+      P::iota(n));
+  auto ends = P::filter(
+      [s, n](std::size_t j) {
+        return !text::is_space(s[j - 1]) && (j == n || text::is_space(s[j]));
+      },
+      P::tabulate(n, [](std::size_t i) { return i + 1; }));
+  auto words = P::zip(starts, ends);
+  auto contribs = P::map(
+      [s](const std::pair<std::size_t, std::size_t>& w) {
+        std::uint64_t len = w.second - w.first;
+        std::uint64_t h = static_cast<std::uint64_t>(
+                              static_cast<unsigned char>(s[w.first])) *
+                          (w.first + 1);
+        return tokens_result{1, len, h};
+      },
+      words);
+  return P::reduce(
+      [](const tokens_result& a, const tokens_result& b) {
+        return tokens_result{a.count + b.count, a.total_len + b.total_len,
+                             a.hash + b.hash};
+      },
+      tokens_result{}, contribs);
+}
+
+// Sequential reference.
+inline tokens_result tokens_reference(const parray<char>& text) {
+  tokens_result r;
+  std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    bool start = !text::is_space(text[i]) &&
+                 (i == 0 || text::is_space(text[i - 1]));
+    if (!start) continue;
+    std::size_t j = i;
+    while (j < n && !text::is_space(text[j])) ++j;
+    r.count += 1;
+    r.total_len += j - i;
+    r.hash += static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(text[i])) *
+              (i + 1);
+  }
+  return r;
+}
+
+}  // namespace pbds::bench

@@ -1,0 +1,36 @@
+// wc — count lines, words and bytes, Unix-wc semantics (§6: 500M chars).
+//
+// One map+reduce over the character indices; the word-start predicate
+// peeks at the previous character. RAD fusion makes this a single read
+// pass with O(1) writes — the array baseline materializes an n-element
+// triple array first.
+#pragma once
+
+#include <cstddef>
+
+#include "array/parray.hpp"
+#include "text/text.hpp"
+
+namespace pbds::bench {
+
+template <typename P>
+text::wc_counts wc(const parray<char>& a) {
+  std::size_t n = a.size();
+  const char* s = a.data();
+  auto contribs = P::map(
+      [s](std::size_t i) {
+        char c = s[i];
+        bool word_start =
+            !text::is_space(c) && (i == 0 || text::is_space(s[i - 1]));
+        return text::wc_counts{c == '\n' ? 1u : 0u, word_start ? 1u : 0u, 1u};
+      },
+      P::iota(n));
+  return P::reduce(
+      [](const text::wc_counts& x, const text::wc_counts& y) {
+        return text::wc_counts{x.lines + y.lines, x.words + y.words,
+                               x.bytes + y.bytes};
+      },
+      text::wc_counts{}, contribs);
+}
+
+}  // namespace pbds::bench

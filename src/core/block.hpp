@@ -1,0 +1,58 @@
+// Global block size B_n (§4: "There are a number of reasonable ways to
+// choose the block size ... Our definitions work the same for any
+// block-size").
+//
+// We use one process-global runtime value so that every sequence created in
+// a pipeline uses the *same* blocking — the property that lets blocks of
+// one operation fuse with blocks of the previous/next operation (§3). The
+// eager array library blocks its reduce/scan/filter with the same value so
+// the three libraries are compared under identical blocking.
+//
+// Not thread-safe to mutate; set it before spawning parallel work (tests
+// and the block-size ablation bench do this via scoped_block_size).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace pbds {
+
+inline constexpr std::size_t kDefaultBlockSize = 2048;
+
+namespace detail {
+inline std::size_t& block_size_slot() {
+  static std::size_t b = kDefaultBlockSize;
+  return b;
+}
+}  // namespace detail
+
+[[nodiscard]] inline std::size_t block_size() {
+  return detail::block_size_slot();
+}
+
+inline void set_block_size(std::size_t b) {
+  assert(b > 0);
+  detail::block_size_slot() = b;
+}
+
+// Number of blocks for a sequence of n elements.
+[[nodiscard]] inline std::size_t num_blocks_for(std::size_t n,
+                                                std::size_t b) {
+  return n == 0 ? 0 : (n + b - 1) / b;
+}
+
+// RAII override, for tests and the ablation bench.
+class scoped_block_size {
+ public:
+  explicit scoped_block_size(std::size_t b) : saved_(block_size()) {
+    set_block_size(b);
+  }
+  ~scoped_block_size() { set_block_size(saved_); }
+  scoped_block_size(const scoped_block_size&) = delete;
+  scoped_block_size& operator=(const scoped_block_size&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+}  // namespace pbds

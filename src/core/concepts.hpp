@@ -1,0 +1,49 @@
+// C++20 concepts for the library's abstractions.
+//
+// These name the contracts that the rest of the code states in comments:
+// what it takes to be a stream (the BID block payload), a delayed
+// sequence, or a random-access piece (flatten's inner-sequence
+// requirement, Fig. 10 line 45). Used in static_asserts at the type
+// boundaries and available to downstream code extending the library.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+
+#include "core/bid.hpp"
+#include "core/rad.hpp"
+
+namespace pbds {
+
+// A single-use sequential producer: the payload of a BID block.
+template <typename S>
+concept Stream = requires(S s) {
+  typename S::value_type;
+  { s.next() } -> std::convertible_to<typename S::value_type>;
+};
+
+// Anything with indexed access and a size — what flatten requires of inner
+// sequences, and what the sort substrate's `sorted` accepts.
+template <typename S>
+concept RandomAccessSequence = requires(const S& s, std::size_t i) {
+  { s.size() } -> std::convertible_to<std::size_t>;
+  s[i];
+};
+
+// The two delayed representations.
+template <typename S>
+concept DelayedSequence = is_rad_v<S> || is_bid_v<S>;
+
+// A pure index function usable as a RAD payload.
+template <typename F>
+concept IndexFunction = std::invocable<const F&, std::size_t>;
+
+// A pure block function usable as a BID payload: maps a block index to a
+// Stream.
+template <typename B>
+concept BlockFunction = requires(const B& b, std::size_t j) {
+  { b(j) } -> Stream;
+};
+
+}  // namespace pbds

@@ -1,0 +1,77 @@
+// Random-access delayed (RAD) sequences — §4's RAD(i, n, f).
+//
+// A RAD represents the sequence <f(i), ..., f(i+n-1)> as an index function;
+// nothing is evaluated until an element is demanded. Construction, map and
+// zip over RADs are O(1): they only compose index functions, which the
+// compiler then inlines into whichever loop ultimately consumes the
+// sequence (index fusion, as in Repa [Keller et al. 2010]).
+//
+// The ML implementation dispatches on a datatype tag; following §4.4, the
+// C++ implementation instead makes RAD and BID distinct template types and
+// dispatches by overload — the index function is part of the static type,
+// which is what makes whole-pipeline inlining easy for the compiler.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "array/parray.hpp"
+
+namespace pbds {
+
+template <typename F>
+struct rad_t {
+  using index_fn_type = F;
+  using value_type = std::decay_t<std::invoke_result_t<const F&, std::size_t>>;
+
+  std::size_t offset;  // first index passed to f
+  std::size_t n;       // number of elements
+  F f;                 // index -> value; must be pure (may be re-invoked)
+
+  [[nodiscard]] std::size_t size() const noexcept { return n; }
+
+  // Random access: element i of the sequence is f(offset + i).
+  value_type operator[](std::size_t i) const { return f(offset + i); }
+};
+
+// --- constructors ----------------------------------------------------------
+
+// The paper's tabulate (Fig. 10 line 19): fully delayed, O(1).
+template <typename F>
+[[nodiscard]] auto rad_tabulate(std::size_t n, F f) {
+  return rad_t<F>{0, n, std::move(f)};
+}
+
+// <0, 1, ..., n-1>.
+[[nodiscard]] inline auto rad_iota(std::size_t n) {
+  return rad_tabulate(n, [](std::size_t i) { return i; });
+}
+
+// Non-owning view of an existing array (RADfromArray, Fig. 9 line 15).
+// The array must outlive every use of the view.
+template <typename T>
+[[nodiscard]] auto rad_view(const parray<T>& a) {
+  const T* p = a.data();
+  return rad_tabulate(a.size(), [p](std::size_t i) { return p[i]; });
+}
+
+// Owning view: keeps the array alive via shared ownership. Used for forced
+// intermediates that must survive past the scope that created them.
+template <typename T>
+[[nodiscard]] auto rad_shared(std::shared_ptr<parray<T>> a) {
+  std::size_t n = a->size();
+  return rad_tabulate(
+      n, [a = std::move(a)](std::size_t i) -> T { return (*a)[i]; });
+}
+
+// --- traits -----------------------------------------------------------------
+
+template <typename T>
+struct is_rad : std::false_type {};
+template <typename F>
+struct is_rad<rad_t<F>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_rad_v = is_rad<std::decay_t<T>>::value;
+
+}  // namespace pbds

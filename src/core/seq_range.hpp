@@ -1,0 +1,95 @@
+// C++ range interop for delayed sequences.
+//
+// §2 of the paper frames C++20 ranges as the sequential cousin of this
+// work; this adapter closes the loop in the other direction, exposing any
+// delayed sequence (RAD or BID) as a standard input range so it can drive
+// range-for loops and <algorithm> consumers. Iteration is sequential
+// (block by block, streaming within each block) — the parallel consumers
+// remain reduce / to_array / apply_each.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <optional>
+
+#include "core/bid.hpp"
+#include "core/delayed.hpp"
+
+namespace pbds::delayed {
+
+// Single-pass input range over a delayed sequence. Holds its own copy of
+// the (cheap, shared_ptr-backed) sequence, so it is safe to return.
+template <typename Bid>
+class seq_range {
+ public:
+  using value_type = typename Bid::value_type;
+
+  explicit seq_range(Bid b) : bid_(std::move(b)) {}
+
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = typename Bid::value_type;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const value_type*;
+    using reference = const value_type&;
+
+    iterator() = default;  // end sentinel
+    explicit iterator(const Bid* bid) : bid_(bid), index_(0) {
+      if (bid_->size() == 0) {
+        bid_ = nullptr;
+        return;
+      }
+      load_block(0);
+      advance_value();
+    }
+
+    reference operator*() const { return current_; }
+    pointer operator->() const { return &current_; }
+
+    iterator& operator++() {
+      ++index_;
+      if (index_ >= bid_->size()) {
+        bid_ = nullptr;  // exhausted: become the end sentinel
+        return *this;
+      }
+      if (index_ % bid_->block_size == 0) {
+        load_block(index_ / bid_->block_size);
+      }
+      advance_value();
+      return *this;
+    }
+
+    void operator++(int) { ++*this; }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      // Only end-comparison is meaningful for an input iterator.
+      return a.bid_ == b.bid_ && (a.bid_ == nullptr || a.index_ == b.index_);
+    }
+
+   private:
+    void load_block(std::size_t j) { stream_.emplace(bid_->block(j)); }
+    void advance_value() { current_ = stream_->next(); }
+
+    const Bid* bid_ = nullptr;
+    std::size_t index_ = 0;
+    std::optional<typename Bid::stream_type> stream_;
+    value_type current_{};
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(&bid_); }
+  [[nodiscard]] iterator end() const { return iterator(); }
+  [[nodiscard]] std::size_t size() const { return bid_.size(); }
+
+ private:
+  Bid bid_;
+};
+
+// Adapt any delayed sequence (or parray) to a sequential input range.
+template <typename Seq>
+[[nodiscard]] auto elements_of(const Seq& s) {
+  auto bd = bid_of(as_seq(s));
+  return seq_range<decltype(bd)>(std::move(bd));
+}
+
+}  // namespace pbds::delayed

@@ -1,0 +1,228 @@
+// Executable cost semantics — §5, Fig. 11.
+//
+// The paper equips every sequence operation with *eager* costs (work, span,
+// allocations incurred now) and equips every sequence value with *delayed*
+// per-index costs (incurred later, by whichever operation consumes the
+// sequence). This module implements that calculus as a small interpreter:
+// a `cost_seq` carries its length, representation (RAD/BID) and per-index
+// delayed cost functions; each operation returns the new sequence and
+// accumulates eager costs into a `cost_meter`.
+//
+// The model lets users (and our tests) predict, before running anything,
+// how much intermediate memory a pipeline allocates and whether fusion
+// happens — e.g. the §5.1 BFS bound O(N + M/B) allocation, or Fig. 5's
+// read/write table for bestcut (see rw_model.hpp).
+//
+// Costs are modelled in doubles (they can be astronomically large for
+// hypothetical inputs); `bmax` is the paper's max-of-block-sums operator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/block.hpp"
+
+namespace pbds::cost {
+
+// A (work, span, allocation) triple. Allocation counts *elements* of
+// intermediate arrays, following Fig. 11.
+struct costs {
+  double work = 0;
+  double span = 0;
+  double alloc = 0;
+
+  costs& operator+=(const costs& o) {
+    work += o.work;
+    span += o.span;
+    alloc += o.alloc;
+    return *this;
+  }
+  friend costs operator+(costs a, const costs& b) { return a += b; }
+};
+
+inline constexpr costs kUnit{1, 1, 0};  // O(1) work & span, no allocation
+
+enum class repr { rad, bid };
+
+// Per-index delayed costs W*_X(i), S*_X(i), A*_X(i).
+using delayed_fn = std::function<costs(std::size_t)>;
+
+inline delayed_fn constant_delayed(costs c) {
+  return [c](std::size_t) { return c; };
+}
+
+// A sequence in the cost model: length, representation, per-index delayed
+// costs. Element values are not modelled — only their costs.
+struct cost_seq {
+  std::size_t n = 0;
+  repr r = repr::rad;
+  delayed_fn delayed = constant_delayed(kUnit);
+};
+
+// Accumulates the eager costs of a pipeline. Work and allocation add
+// across operations; span also adds because the operations of a pipeline
+// are sequentially dependent.
+class cost_meter {
+ public:
+  void charge(const costs& c) { total_ += c; }
+  [[nodiscard]] const costs& total() const { return total_; }
+
+ private:
+  costs total_;
+};
+
+namespace detail {
+
+// Sum of delayed costs over all indices.
+inline costs sum_delayed(const cost_seq& x) {
+  costs acc;
+  for (std::size_t i = 0; i < x.n; ++i) acc += x.delayed(i);
+  return acc;
+}
+
+// bmax^n_i of the delayed spans: max over blocks of the within-block sum
+// (each block is sequential; blocks run in parallel).
+inline double bmax_delayed_span(const cost_seq& x, std::size_t blk) {
+  double best = 0;
+  std::size_t nb = num_blocks_for(x.n, blk);
+  for (std::size_t j = 0; j < nb; ++j) {
+    std::size_t lo = j * blk;
+    std::size_t hi = std::min(x.n, lo + blk);
+    double s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += x.delayed(i).span;
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+inline double log2_ceil(std::size_t n) {
+  return n <= 1 ? 1.0 : std::ceil(std::log2(static_cast<double>(n)));
+}
+
+}  // namespace detail
+
+// --- the operations of Fig. 11 ------------------------------------------------
+//
+// Each takes the cost model of the argument function(s) as a `costs` value
+// per element (constant over indices, the common case; Fig. 11's full
+// generality with per-element f-costs is recovered by folding them into
+// the input's delayed costs via map).
+
+// tabulate n f — eager O(1); delayed cost at i is cost(f).
+inline cost_seq tabulate(cost_meter& m, std::size_t n,
+                         costs f_cost = kUnit) {
+  m.charge(kUnit);
+  return cost_seq{n, repr::rad, constant_delayed(f_cost + kUnit)};
+}
+
+// map f X — eager O(1); representation preserved; delayed adds cost(f).
+inline cost_seq map(cost_meter& m, const cost_seq& x, costs f_cost = kUnit) {
+  m.charge(kUnit);
+  auto inner = x.delayed;
+  return cost_seq{x.n, x.r, [inner, f_cost](std::size_t i) {
+                    return inner(i) + f_cost;
+                  }};
+}
+
+// zip — eager O(1); BID if either side is BID; delayed costs add.
+inline cost_seq zip(cost_meter& m, const cost_seq& x, const cost_seq& y) {
+  m.charge(kUnit);
+  repr r = (x.r == repr::bid || y.r == repr::bid) ? repr::bid : repr::rad;
+  auto dx = x.delayed;
+  auto dy = y.delayed;
+  return cost_seq{x.n, r, [dx, dy](std::size_t i) {
+                    return dx(i) + dy(i) + kUnit;
+                  }};
+}
+
+// force X — output RAD with unit delayed costs; eager costs are the sums
+// of the input's delayed costs, plus |X| allocation for the result array.
+inline cost_seq force(cost_meter& m, const cost_seq& x) {
+  std::size_t blk = block_size();
+  costs total = detail::sum_delayed(x);
+  m.charge(costs{total.work,
+                 detail::bmax_delayed_span(x, blk) +
+                     detail::log2_ceil(num_blocks_for(x.n, blk)),
+                 static_cast<double>(x.n) + total.alloc});
+  return cost_seq{x.n, repr::rad, constant_delayed(kUnit)};
+}
+
+// reduce f z X (f simple) — eager: all delayed work, bmax'ed span plus a
+// log-depth combine, |X|/B allocation for the block sums.
+inline costs reduce(cost_meter& m, const cost_seq& x) {
+  std::size_t blk = block_size();
+  costs total = detail::sum_delayed(x);
+  costs eager{total.work + static_cast<double>(x.n),
+              detail::log2_ceil(x.n) + detail::bmax_delayed_span(x, blk),
+              static_cast<double>(num_blocks_for(x.n, blk)) + total.alloc};
+  m.charge(eager);
+  return eager;
+}
+
+// scan f z X (f simple) — output is BID with unit extra delayed costs ON
+// TOP of the input's (phase 3 re-reads the input); eager costs are phase 1
+// (delayed input work) + |X|/B allocation for partials.
+inline cost_seq scan(cost_meter& m, const cost_seq& x) {
+  std::size_t blk = block_size();
+  costs total = detail::sum_delayed(x);
+  m.charge(costs{total.work + static_cast<double>(x.n),
+                 detail::log2_ceil(x.n) + detail::bmax_delayed_span(x, blk),
+                 static_cast<double>(num_blocks_for(x.n, blk)) + total.alloc});
+  auto inner = x.delayed;
+  return cost_seq{x.n, repr::bid, [inner](std::size_t i) {
+                    return inner(i) + kUnit;
+                  }};
+}
+
+// scan_inclusive — identical cost structure to scan (same three phases).
+inline cost_seq scan_inclusive(cost_meter& m, const cost_seq& x) {
+  return scan(m, x);
+}
+
+// filter p X — output BID with unit delayed costs (survivors are packed);
+// eager: delayed input work + predicate, |Y| + |X|/B allocation.
+// m_out is the number of survivors (a value, not a cost, so the caller
+// supplies it).
+inline cost_seq filter(cost_meter& m, const cost_seq& x, std::size_t m_out,
+                       costs p_cost = kUnit) {
+  std::size_t blk = block_size();
+  costs total = detail::sum_delayed(x);
+  m.charge(costs{
+      total.work + static_cast<double>(x.n) * (p_cost.work + 1),
+      detail::bmax_delayed_span(x, blk) +
+          static_cast<double>(blk) * p_cost.span + detail::log2_ceil(x.n),
+      static_cast<double>(m_out) +
+          static_cast<double>(num_blocks_for(x.n, blk)) + total.alloc +
+          static_cast<double>(x.n) * p_cost.alloc});
+  return cost_seq{m_out, repr::bid, constant_delayed(kUnit)};
+}
+
+// filterOp / mapMaybe — same cost structure as filter, with f's cost in
+// place of the predicate's.
+inline cost_seq filter_op(cost_meter& m, const cost_seq& x,
+                          std::size_t m_out, costs f_cost = kUnit) {
+  return filter(m, x, m_out, f_cost);
+}
+
+// flatten X (inner sequences RAD) — outer delayed costs are paid eagerly;
+// inner delayed costs carry through to the output. `inner` describes the
+// concatenated sequence's per-index delayed costs; `m_out` its length.
+inline cost_seq flatten(cost_meter& m, const cost_seq& outer,
+                        std::size_t m_out, delayed_fn inner) {
+  std::size_t blk = block_size();
+  costs total = detail::sum_delayed(outer);
+  m.charge(costs{total.work + static_cast<double>(outer.n),
+                 detail::log2_ceil(std::max<std::size_t>(outer.n, 2)) +
+                     detail::bmax_delayed_span(outer, blk),
+                 static_cast<double>(outer.n) + total.alloc});
+  return cost_seq{m_out, repr::bid,
+                  [inner = std::move(inner)](std::size_t i) {
+                    return inner(i) + kUnit;
+                  }};
+}
+
+}  // namespace pbds::cost

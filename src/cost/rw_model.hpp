@@ -1,0 +1,67 @@
+// Read/write traffic model — Fig. 5's table for the best-cut pipeline.
+//
+// The paper explains fusion's benefit on memory-bandwidth-bound machines by
+// counting array reads and writes per operation, with the scan split into
+// its three phases. This module reproduces that accounting as closed-form
+// functions of n (elements) and b (blocks), for both the normal
+// (unfused) and fused executions, plus the forced-map variant discussed in
+// §3 (4n + O(b)).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace pbds::cost {
+
+struct rw {
+  double reads = 0;
+  double writes = 0;
+
+  rw& operator+=(const rw& o) {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+  [[nodiscard]] double total() const { return reads + writes; }
+};
+
+struct rw_row {
+  std::string_view op;
+  rw normal;  // unfused execution
+  rw fused;   // block-delayed execution ({0,0} = fully delayed/fused away)
+};
+
+// The six rows of Fig. 5 for pipeline map -> scan(3 phases) -> map ->
+// reduce over n elements in b blocks.
+inline std::vector<rw_row> bestcut_rw_table(double n, double b) {
+  return {
+      // op            normal                fused
+      {"map", {n, n}, {0, 0}},                       // fused into phase 1
+      {"scan phase 1", {n, b}, {n, b}},              // reads (fused) input
+      {"scan phase 2", {b, b}, {b, b}},
+      {"scan phase 3", {n + b, n}, {0, 0}},          // delayed into reduce
+      {"map", {n, n}, {0, 0}},                       // fused into reduce
+      {"reduce", {n, b + 1}, {n + 2 * b, b + 1}},    // re-reads input + partials
+  };
+}
+
+inline rw rw_total(const std::vector<rw_row>& rows, bool fused) {
+  rw t;
+  for (const auto& r : rows) t += fused ? r.fused : r.normal;
+  return t;
+}
+
+// §3's alternative: force the initial map (evaluate it once into an array)
+// instead of recomputing it in both passes — 4n + O(b) total.
+inline rw bestcut_rw_forced(double n, double b) {
+  rw t;
+  t += {n, n};              // force the map's result
+  t += {n, b};              // scan phase 1 reads the forced array
+  t += {b, b};              // scan phase 2
+  t += {n + 2 * b, b + 1};  // reduce re-reads forced array + partials
+  return t;
+}
+
+}  // namespace pbds::cost

@@ -1,0 +1,74 @@
+// Geometry substrate for the quickhull and bestcut benchmarks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "array/parray.hpp"
+#include "random/rng.hpp"
+
+namespace pbds::geom {
+
+struct point2d {
+  double x = 0;
+  double y = 0;
+  friend bool operator==(const point2d&, const point2d&) = default;
+};
+
+// Twice the signed area of triangle (o, a, b); > 0 iff b is strictly to
+// the left of ray o->a.
+constexpr double cross(const point2d& o, const point2d& a,
+                       const point2d& b) noexcept {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+// Squared distance of p from the line through (a, b), up to the constant
+// |b-a|^2 factor (monotone in the true distance, which is all quickhull
+// needs to pick the farthest point).
+constexpr double line_distance(const point2d& a, const point2d& b,
+                               const point2d& p) noexcept {
+  return cross(a, b, p);
+}
+
+// n points uniform in the unit disk (the paper's quickhull input:
+// "points in a circle from a uniform distribution"). Polar sampling:
+// r = sqrt(u1), theta = 2*pi*u2.
+inline parray<point2d> points_in_disk(std::size_t n, std::uint64_t seed = 5) {
+  random::rng gen(seed);
+  return parray<point2d>::tabulate(n, [&](std::size_t i) {
+    double r = std::sqrt(gen.uniform(2 * i));
+    double t = 6.283185307179586 * gen.uniform(2 * i + 1);
+    return point2d{r * std::cos(t), r * std::sin(t)};
+  });
+}
+
+// bestcut input: axis events of bounding boxes, sorted by coordinate in
+// [0, 1]. Event i is an interval start or end (§3: the surface-area
+// heuristic scans candidate cuts, counting how many boxes end before each
+// cut). We generate sorted coordinates directly (i + jitter) / n so no
+// sort substrate is needed; the is_end flags are random.
+struct axis_event {
+  double coord = 0;      // cut position in [0, 1], nondecreasing in i
+  std::uint8_t is_end = 0;  // 1 if a box ends here
+};
+
+inline parray<axis_event> bestcut_events(std::size_t n,
+                                         std::uint64_t seed = 13) {
+  random::rng gen(seed);
+  double inv = 1.0 / static_cast<double>(n);
+  return parray<axis_event>::tabulate(n, [=](std::size_t i) {
+    double jitter = gen.uniform(3 * i) * 0.999;
+    return axis_event{(static_cast<double>(i) + jitter) * inv,
+                      static_cast<std::uint8_t>(gen.coin(3 * i + 1) ? 1 : 0)};
+  });
+}
+
+// The surface-area-heuristic-style cost of cutting at position x with c
+// boxes fully on the left of the cut, out of n total: boxes-left weighted
+// by left extent plus boxes-right weighted by right extent.
+constexpr double sah_cost(double x, std::uint64_t c, std::size_t n) noexcept {
+  return x * static_cast<double>(c) +
+         (1.0 - x) * static_cast<double>(n - c);
+}
+
+}  // namespace pbds::geom

@@ -1,0 +1,98 @@
+// 3D geometry substrate for the ray-cast workload (§1 mentions
+// ray-triangle intersection among the PBBS codes improved by
+// block-delayed sequences): vectors, triangles, rays, and Möller-Trumbore
+// intersection.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "array/parray.hpp"
+#include "random/rng.hpp"
+
+namespace pbds::geom {
+
+struct vec3 {
+  double x = 0, y = 0, z = 0;
+
+  friend constexpr vec3 operator+(const vec3& a, const vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr vec3 operator-(const vec3& a, const vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr vec3 operator*(double s, const vec3& v) {
+    return {s * v.x, s * v.y, s * v.z};
+  }
+};
+
+constexpr double dot(const vec3& a, const vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr vec3 cross3(const vec3& a, const vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const vec3& v) { return std::sqrt(dot(v, v)); }
+
+struct triangle {
+  vec3 a, b, c;
+};
+
+struct ray {
+  vec3 origin, dir;  // dir need not be normalized
+};
+
+// Möller-Trumbore: parameter t >= 0 of the hit along the ray, or nullopt.
+inline std::optional<double> intersect(const ray& r, const triangle& tri) {
+  constexpr double kEps = 1e-12;
+  vec3 e1 = tri.b - tri.a;
+  vec3 e2 = tri.c - tri.a;
+  vec3 p = cross3(r.dir, e2);
+  double det = dot(e1, p);
+  if (det > -kEps && det < kEps) return std::nullopt;  // parallel
+  double inv = 1.0 / det;
+  vec3 s = r.origin - tri.a;
+  double u = inv * dot(s, p);
+  if (u < 0.0 || u > 1.0) return std::nullopt;
+  vec3 q = cross3(s, e1);
+  double v = inv * dot(r.dir, q);
+  if (v < 0.0 || u + v > 1.0) return std::nullopt;
+  double t = inv * dot(e2, q);
+  if (t < kEps) return std::nullopt;  // behind the origin
+  return t;
+}
+
+// Random small triangles scattered in the unit cube z in [1, 2] (so rays
+// from the origin toward +z hit a reasonable fraction).
+inline parray<triangle> random_triangles(std::size_t n,
+                                         std::uint64_t seed = 37) {
+  random::rng gen(seed);
+  return parray<triangle>::tabulate(n, [&](std::size_t i) {
+    auto base = 9 * i;
+    vec3 a{gen.uniform(base + 0, -1.0, 1.0), gen.uniform(base + 1, -1.0, 1.0),
+           gen.uniform(base + 2, 1.0, 2.0)};
+    vec3 db{gen.uniform(base + 3, -0.2, 0.2),
+            gen.uniform(base + 4, -0.2, 0.2),
+            gen.uniform(base + 5, -0.1, 0.1)};
+    vec3 dc{gen.uniform(base + 6, -0.2, 0.2),
+            gen.uniform(base + 7, -0.2, 0.2),
+            gen.uniform(base + 8, -0.1, 0.1)};
+    return triangle{a, a + db, a + dc};
+  });
+}
+
+// Rays from the origin through a jittered grid on the z = 1 plane.
+inline parray<ray> random_rays(std::size_t n, std::uint64_t seed = 41) {
+  random::rng gen(seed);
+  return parray<ray>::tabulate(n, [&](std::size_t i) {
+    return ray{vec3{0, 0, 0},
+               vec3{gen.uniform(2 * i, -1.0, 1.0),
+                    gen.uniform(2 * i + 1, -1.0, 1.0), 1.0}};
+  });
+}
+
+}  // namespace pbds::geom

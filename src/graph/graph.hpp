@@ -1,0 +1,179 @@
+// Graph substrate for the BFS benchmark: CSR representation, generators
+// (R-MAT power-law [Chakrabarti et al. 2004] and uniform), and a BFS-tree
+// validity checker used by the tests.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "array/parray.hpp"
+#include "random/rng.hpp"
+#include "sched/parallel.hpp"
+
+namespace pbds::graph {
+
+using vertex = std::uint32_t;
+inline constexpr vertex kNoVertex = static_cast<vertex>(-1);
+
+// Compressed sparse row adjacency. Immutable once built.
+class csr_graph {
+ public:
+  csr_graph() = default;
+  csr_graph(parray<std::uint64_t> offsets, parray<vertex> edges)
+      : offsets_(std::move(offsets)), edges_(std::move(edges)) {
+    assert(!offsets_.empty());
+    assert(offsets_[offsets_.size() - 1] == edges_.size());
+  }
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] std::size_t degree(vertex u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  // Pointer to u's first out-neighbor; degree(u) entries follow.
+  [[nodiscard]] const vertex* neighbors(vertex u) const {
+    return edges_.data() + offsets_[u];
+  }
+
+ private:
+  parray<std::uint64_t> offsets_;  // n+1
+  parray<vertex> edges_;           // m
+};
+
+// Build a CSR graph from an (unsorted) directed edge list, in parallel:
+// count degrees with fetch_add, exclusive-scan for offsets, then place
+// edges with per-vertex atomic cursors. Neighbor order is nondeterministic
+// but the *multiset* of edges is preserved.
+inline csr_graph from_edges(std::size_t n,
+                            const parray<std::pair<vertex, vertex>>& edges) {
+  auto counts = parray<std::atomic<std::uint64_t>>::tabulate(
+      n, [](std::size_t) { return 0; });
+  parallel_for(0, edges.size(), [&](std::size_t e) {
+    counts[edges[e].first].fetch_add(1, std::memory_order_relaxed);
+  });
+  auto offsets = parray<std::uint64_t>::uninitialized(n + 1);
+  std::uint64_t acc = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets[u] = acc;
+    acc += counts[u].load(std::memory_order_relaxed);
+    counts[u].store(0, std::memory_order_relaxed);  // reuse as cursor
+  }
+  offsets[n] = acc;
+  auto out = parray<vertex>::uninitialized(edges.size());
+  parallel_for(0, edges.size(), [&](std::size_t e) {
+    vertex u = edges[e].first;
+    std::uint64_t slot =
+        offsets[u] + counts[u].fetch_add(1, std::memory_order_relaxed);
+    out[slot] = edges[e].second;
+  });
+  return csr_graph(std::move(offsets), std::move(out));
+}
+
+// R-MAT power-law generator: n = 2^scale vertices, m edges, quadrant
+// probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) as in the paper's
+// bfs input ("random power-law graph"). Self-loops and duplicates are kept
+// (standard for R-MAT); the graph is directed.
+inline csr_graph rmat(unsigned scale, std::size_t m,
+                      std::uint64_t seed = 42) {
+  std::size_t n = std::size_t{1} << scale;
+  random::rng gen(seed);
+  auto edges = parray<std::pair<vertex, vertex>>::tabulate(
+      m, [&](std::size_t e) {
+        vertex src = 0, dst = 0;
+        for (unsigned level = 0; level < scale; ++level) {
+          double r = gen.uniform(e * scale + level);
+          // quadrant choice: a=0.57, b=0.19, c=0.19, d=0.05
+          unsigned quad = r < 0.57 ? 0 : (r < 0.76 ? 1 : (r < 0.95 ? 2 : 3));
+          src = static_cast<vertex>((src << 1) | (quad >> 1));
+          dst = static_cast<vertex>((dst << 1) | (quad & 1));
+        }
+        return std::pair<vertex, vertex>(src, dst);
+      });
+  return from_edges(n, edges);
+}
+
+// Uniform random directed graph.
+inline csr_graph uniform(std::size_t n, std::size_t m,
+                         std::uint64_t seed = 42) {
+  random::rng gen(seed);
+  auto edges = parray<std::pair<vertex, vertex>>::tabulate(
+      m, [&](std::size_t e) {
+        return std::pair<vertex, vertex>(
+            static_cast<vertex>(gen.below(2 * e, n)),
+            static_cast<vertex>(gen.below(2 * e + 1, n)));
+      });
+  return from_edges(n, edges);
+}
+
+// Reference sequential BFS: distance from source for every vertex
+// (kNoVertex-distance = unreached, encoded as -1 in the result).
+inline std::vector<std::int64_t> reference_distances(const csr_graph& g,
+                                                     vertex source) {
+  std::vector<std::int64_t> dist(g.num_vertices(), -1);
+  std::queue<vertex> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    vertex u = q.front();
+    q.pop();
+    const vertex* ngh = g.neighbors(u);
+    for (std::size_t k = 0; k < g.degree(u); ++k) {
+      vertex v = ngh[k];
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+// Validate a parent array as a correct BFS tree from `source`:
+//  * exactly the reachable vertices are visited,
+//  * the source is its own parent,
+//  * every other visited vertex v has an edge parent[v] -> v and
+//    dist(v) == dist(parent[v]) + 1 (i.e. the tree realizes shortest
+//    hop distances, which BFS must, despite racy parent choice).
+template <typename Parents>
+bool check_bfs_tree(const csr_graph& g, vertex source,
+                    const Parents& parents) {
+  // Accept either an indexable array or a callable accessor.
+  auto parent = [&](std::size_t v) -> vertex {
+    if constexpr (std::is_invocable_v<const Parents&, std::size_t>) {
+      return parents(v);
+    } else {
+      return parents[v];
+    }
+  };
+  auto dist = reference_distances(g, source);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    bool reachable = dist[v] >= 0;
+    bool visited = parent(v) != kNoVertex;
+    if (reachable != visited) return false;
+    if (!visited) continue;
+    if (v == source) {
+      if (parent(v) != source) return false;
+      continue;
+    }
+    vertex p = parent(v);
+    if (dist[p] + 1 != dist[v]) return false;
+    const vertex* ngh = g.neighbors(p);
+    bool has_edge = false;
+    for (std::size_t k = 0; k < g.degree(p) && !has_edge; ++k) {
+      has_edge = ngh[k] == v;
+    }
+    if (!has_edge) return false;
+  }
+  return true;
+}
+
+}  // namespace pbds::graph

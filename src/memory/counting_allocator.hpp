@@ -1,0 +1,45 @@
+// std-compatible allocator that reports through pbds::memory's counters.
+//
+// Used for the dynamically-resizing pack buffers inside filter
+// (s.packToArray in the paper, Fig. 8), so that even transient grow/copy
+// allocations show up in the space accounting.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "memory/tracking.hpp"
+
+namespace pbds::memory {
+
+template <typename T>
+class counting_allocator {
+ public:
+  using value_type = T;
+
+  counting_allocator() noexcept = default;
+  template <typename U>
+  counting_allocator(const counting_allocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    note_alloc(n * sizeof(T));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    note_free(n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const counting_allocator&,
+                         const counting_allocator&) noexcept {
+    return true;
+  }
+};
+
+// Dynamically-resizing buffer whose allocations are space-accounted.
+template <typename T>
+using tracked_vector = std::vector<T, counting_allocator<T>>;
+
+}  // namespace pbds::memory

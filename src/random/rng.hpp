@@ -1,0 +1,67 @@
+// Counter-based splittable pseudo-random numbers.
+//
+// All workload generators use this stateless, indexable RNG: the i-th draw
+// is a pure function of (seed, i), so generation parallelizes trivially
+// (no shared state) and every benchmark input is reproducible bit-for-bit
+// regardless of thread count or evaluation order — a requirement for
+// comparing the three library versions on identical inputs.
+//
+// The mixer is the finalizer from splitmix64 / MurmurHash3 (Stafford's
+// variant 13), which passes PractRand at these use sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pbds::random {
+
+// Bijective 64-bit mixer.
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Indexable random source: draw(i) is independent of all other draws.
+class rng {
+ public:
+  explicit constexpr rng(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  // Derive an independent stream (e.g. one per field of a record).
+  [[nodiscard]] constexpr rng split(std::uint64_t stream) const noexcept {
+    return rng(hash64(seed_ ^ (stream * 0xd1342543de82ef95ull + 1)));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t u64(std::uint64_t i) const noexcept {
+    return hash64(seed_ ^ (i + 0x632be59bd9b4e019ull));
+  }
+
+  // Uniform in [0, bound). Modulo bias is < 2^-32 for bound < 2^32.
+  [[nodiscard]] constexpr std::uint64_t below(std::uint64_t i,
+                                              std::uint64_t bound) const
+      noexcept {
+    return bound == 0 ? 0 : u64(i) % bound;
+  }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform(std::uint64_t i) const noexcept {
+    return static_cast<double>(u64(i) >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(std::uint64_t i, double lo,
+                                         double hi) const noexcept {
+    return lo + (hi - lo) * uniform(i);
+  }
+
+  [[nodiscard]] constexpr bool coin(std::uint64_t i,
+                                    double p = 0.5) const noexcept {
+    return uniform(i) < p;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace pbds::random

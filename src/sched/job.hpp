@@ -1,0 +1,54 @@
+// Job abstraction for the work-stealing scheduler.
+//
+// A job is a type-erased unit of work with a completion flag. Jobs are
+// always stack-allocated by the forking thread (fork2join keeps the right
+// branch alive on its own stack until the join), so no heap allocation or
+// reference counting is needed on the fork path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace pbds::sched {
+
+// Type-erased job. `execute` runs the payload; `done` is set (release) by
+// whichever worker ran it, and polled (acquire) by the joiner.
+class job {
+ public:
+  explicit job(void (*run)(job*)) noexcept : run_(run) {}
+
+  job(const job&) = delete;
+  job& operator=(const job&) = delete;
+
+  void execute() {
+    run_(this);
+    done_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool finished() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void (*run_)(job*);
+  std::atomic<bool> done_{false};
+};
+
+// Concrete job holding a callable of type F by reference. The callable
+// outlives the job (both live in the forking frame), so a reference is safe
+// and avoids a copy of potentially capture-heavy lambdas.
+template <typename F>
+class callable_job final : public job {
+ public:
+  explicit callable_job(F& f) noexcept
+      : job(&callable_job::invoke), f_(f) {}
+
+ private:
+  static void invoke(job* self) {
+    static_cast<callable_job*>(self)->f_();
+  }
+  F& f_;
+};
+
+}  // namespace pbds::sched

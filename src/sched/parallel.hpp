@@ -1,0 +1,100 @@
+// Fork-join parallel primitives built on the work-stealing scheduler.
+//
+//   fork2join(l, r)           — run two thunks in parallel, join both.
+//   parallel_for(lo, hi, f)   — divide-and-conquer loop with granularity
+//                               control.
+//   apply(n, f)               — the paper's sole parallel primitive
+//                               (Fig. 7): a tabulate with no result, i.e.
+//                               f(i) for all 0 <= i < n in parallel. All of
+//                               the sequence libraries bottom out here.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "sched/scheduler.hpp"
+
+namespace pbds {
+
+// Run `left` and `right` in parallel; return when both are complete.
+// The right branch is made stealable; the forking worker runs the left
+// branch, then either runs the right branch inline (if no one stole it) or
+// steals other work while waiting for the thief to finish it.
+template <typename L, typename R>
+void fork2join(L&& left, R&& right) {
+  auto& s = sched::get_scheduler();
+  if (s.num_workers() == 1 || sched::scheduler::worker_id() < 0) {
+    // Sequential fast path; also the safe path for threads outside the pool.
+    left();
+    right();
+    return;
+  }
+  sched::callable_job<R> right_job(right);
+  s.push(&right_job);
+  left();
+  sched::job* popped = s.try_pop();
+  if (popped != nullptr) {
+    // Fork-join discipline guarantees the bottom of our deque is exactly
+    // the job we pushed (everything pushed by `left` was joined inside it).
+    assert(popped == &right_job);
+    popped->execute();
+  } else {
+    s.wait_until(&right_job);
+  }
+}
+
+namespace detail {
+
+inline constexpr std::size_t kDefaultGranularity = 512;
+
+template <typename F>
+void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
+                      std::size_t granularity) {
+  if (hi - lo > granularity) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    fork2join([&] { parallel_for_rec(lo, mid, f, granularity); },
+              [&] { parallel_for_rec(mid, hi, f, granularity); });
+    return;
+  }
+  for (std::size_t i = lo; i < hi; ++i) f(i);
+}
+
+}  // namespace detail
+
+// Parallel loop over [lo, hi). `granularity` is the largest range executed
+// sequentially; 0 selects a default that balances scheduling overhead
+// against load balance. `f` must be safe to invoke concurrently for
+// distinct indices.
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, const F& f,
+                  std::size_t granularity = 0) {
+  if (lo >= hi) return;
+  std::size_t n = hi - lo;
+  if (granularity == 0) {
+    // Aim for ~8 chunks per worker, but never chunks so small that
+    // scheduling dominates memory-bound per-element work.
+    std::size_t target = n / (8 * static_cast<std::size_t>(
+                                      sched::num_workers()) +
+                              1);
+    granularity = target < 1 ? 1 : target;
+    if (granularity > detail::kDefaultGranularity)
+      granularity = detail::kDefaultGranularity;
+  }
+  if (n <= granularity) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  detail::parallel_for_rec(lo, hi, f, granularity);
+}
+
+// The paper's `apply` (Fig. 7): run f(i) for all 0 <= i < n in parallel,
+// one invocation per index, granularity 1 (each index is assumed to be a
+// block-sized unit of work, as in the blocked implementations of
+// reduce/scan/filter/flatten).
+template <typename F>
+void apply(std::size_t n, const F& f) {
+  parallel_for(0, n, f, 1);
+}
+
+}  // namespace pbds

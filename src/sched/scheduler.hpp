@@ -1,0 +1,189 @@
+// Work-stealing fork-join scheduler.
+//
+// A fixed pool of workers, each with a Chase-Lev deque. The thread that
+// first touches the scheduler (normally the program's main thread) is
+// enrolled as worker 0 and participates in the computation; `num_workers-1`
+// additional threads are spawned. Forked jobs are pushed onto the forking
+// worker's deque; idle workers steal from the top of random victims.
+//
+// This is the substrate for the paper's single parallel primitive `apply`
+// (Fig. 7), exposed here as fork2join / parallel_for (see parallel.hpp).
+//
+// Workers back off exponentially (yield, then short sleeps) when no work is
+// found, so an over-provisioned pool does not burn a core per idle worker.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/chase_lev_deque.hpp"
+#include "sched/job.hpp"
+
+namespace pbds::sched {
+
+namespace detail {
+// Per-thread worker id; -1 for threads not enrolled in the pool.
+inline thread_local int tl_worker_id = -1;
+
+// Cheap per-thread xorshift for victim selection.
+inline std::uint64_t& tl_rng_state() {
+  static thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      (static_cast<std::uint64_t>(tl_worker_id + 2) * 0xbf58476d1ce4e5b9ull);
+  return state;
+}
+
+inline std::uint64_t next_random() {
+  std::uint64_t& x = tl_rng_state();
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+}  // namespace detail
+
+class scheduler {
+ public:
+  explicit scheduler(unsigned num_workers)
+      : num_workers_(num_workers == 0 ? 1 : num_workers),
+        deques_(num_workers_) {
+    // Enroll the constructing thread as worker 0.
+    detail::tl_worker_id = 0;
+    threads_.reserve(num_workers_ - 1);
+    for (unsigned id = 1; id < num_workers_; ++id) {
+      threads_.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  ~scheduler() {
+    shutdown_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+    detail::tl_worker_id = -1;
+  }
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  [[nodiscard]] unsigned num_workers() const noexcept { return num_workers_; }
+
+  [[nodiscard]] static int worker_id() noexcept {
+    return detail::tl_worker_id;
+  }
+
+  // Push a job onto the calling worker's deque. Caller must be enrolled.
+  void push(job* j) {
+    assert(detail::tl_worker_id >= 0);
+    deques_[static_cast<unsigned>(detail::tl_worker_id)].push_bottom(j);
+  }
+
+  // Pop from the calling worker's own deque (LIFO).
+  job* try_pop() {
+    assert(detail::tl_worker_id >= 0);
+    return deques_[static_cast<unsigned>(detail::tl_worker_id)].pop_bottom();
+  }
+
+  // Block (cooperatively) until `j` completes, stealing work meanwhile.
+  void wait_until(const job* j) {
+    unsigned failures = 0;
+    while (!j->finished()) {
+      job* stolen = find_work();
+      if (stolen != nullptr) {
+        stolen->execute();
+        failures = 0;
+      } else {
+        back_off(failures);
+      }
+    }
+  }
+
+ private:
+  void worker_loop(unsigned id) {
+    detail::tl_worker_id = static_cast<int>(id);
+    unsigned failures = 0;
+    while (!shutdown_.load(std::memory_order_acquire)) {
+      job* j = find_work();
+      if (j != nullptr) {
+        j->execute();
+        failures = 0;
+      } else {
+        back_off(failures);
+      }
+    }
+    detail::tl_worker_id = -1;
+  }
+
+  // Own deque first (LIFO locality), then a round of random steals.
+  job* find_work() {
+    unsigned self = static_cast<unsigned>(detail::tl_worker_id);
+    if (job* j = deques_[self].pop_bottom()) return j;
+    if (num_workers_ == 1) return nullptr;
+    for (unsigned attempt = 0; attempt < 2 * num_workers_; ++attempt) {
+      unsigned victim =
+          static_cast<unsigned>(detail::next_random() % num_workers_);
+      if (victim == self) continue;
+      if (job* j = deques_[victim].steal()) return j;
+    }
+    return nullptr;
+  }
+
+  static void back_off(unsigned& failures) {
+    ++failures;
+    if (failures < 16) {
+      std::this_thread::yield();
+    } else {
+      // Over-provisioned pools (threads > cores) must not spin hard.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          failures < 64 ? 20 : 200));
+    }
+  }
+
+  unsigned num_workers_;
+  std::vector<chase_lev_deque> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+};
+
+namespace detail {
+inline std::unique_ptr<scheduler>& global_slot() {
+  static std::unique_ptr<scheduler> slot;
+  return slot;
+}
+
+inline unsigned default_num_workers() {
+  if (const char* env = std::getenv("PBDS_NUM_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace detail
+
+// The process-wide scheduler, created lazily on first use from the calling
+// thread (which becomes worker 0).
+inline scheduler& get_scheduler() {
+  auto& slot = detail::global_slot();
+  if (!slot) slot = std::make_unique<scheduler>(detail::default_num_workers());
+  return *slot;
+}
+
+inline unsigned num_workers() { return get_scheduler().num_workers(); }
+
+// Tear down and recreate the pool with `p` workers. Must be called from the
+// original worker-0 thread with no parallel work in flight (used by the
+// scalability bench to sweep processor counts).
+inline void set_num_workers(unsigned p) {
+  auto& slot = detail::global_slot();
+  slot.reset();
+  slot = std::make_unique<scheduler>(p == 0 ? 1 : p);
+}
+
+}  // namespace pbds::sched

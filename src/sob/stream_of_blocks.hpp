@@ -1,0 +1,105 @@
+// Stream-of-blocks — the prior block-based fusion technique (§2.1),
+// implemented for the §6.5 comparison (Fig. 16).
+//
+// Where block-delayed sequences are *blocks of streams* (parallel across
+// blocks, sequential within), stream-of-blocks is the inside-out
+// arrangement: the sequence is consumed as a sequential stream of
+// materialized blocks, and parallelism is exploited only *within* the
+// current block. A small buffer of size B holds the live block; each
+// pipeline operation is applied to it in parallel before moving on to the
+// next block. This works for SIMD-granularity parallelism but on a
+// multicore the per-block synchronization cost forces B to be enormous
+// before the approach even matches unfused arrays — which is exactly what
+// Fig. 16 shows.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "array/parray.hpp"
+#include "sched/parallel.hpp"
+
+namespace pbds::sob {
+
+// Parallel primitives over raw ranges (the within-block operations).
+// Chunking uses ~4 chunks per worker so small blocks do not over-fork.
+
+namespace detail {
+inline std::size_t chunk_for(std::size_t n) {
+  std::size_t per =
+      n / (4 * static_cast<std::size_t>(sched::num_workers()) + 1);
+  return std::max<std::size_t>(per, 512);
+}
+}  // namespace detail
+
+template <typename T, typename F>
+T range_reduce(const T* p, std::size_t n, const F& f, T z) {
+  std::size_t chunk = detail::chunk_for(n);
+  if (n <= chunk) {
+    T acc = z;
+    for (std::size_t i = 0; i < n; ++i) acc = f(acc, p[i]);
+    return acc;
+  }
+  std::size_t nc = (n + chunk - 1) / chunk;
+  // Fold each (nonempty) chunk from its first element so the seed z is
+  // incorporated exactly once — z need not be an identity of f here.
+  auto sums = parray<T>::tabulate(
+      nc,
+      [&](std::size_t j) {
+        std::size_t lo = j * chunk, hi = std::min(n, lo + chunk);
+        T acc = p[lo];
+        for (std::size_t i = lo + 1; i < hi; ++i) acc = f(acc, p[i]);
+        return acc;
+      },
+      1);
+  T acc = z;
+  for (std::size_t j = 0; j < nc; ++j) acc = f(acc, sums[j]);
+  return acc;
+}
+
+// In-place parallel exclusive scan over [p, p+n), seeded with z; returns
+// the total. Two passes (sums, then rescan), parallel across chunks.
+template <typename T, typename F>
+T range_scan_exclusive(T* p, std::size_t n, const F& f, T z) {
+  std::size_t chunk = detail::chunk_for(n);
+  if (n <= chunk) {
+    T acc = z;
+    for (std::size_t i = 0; i < n; ++i) {
+      T next = f(acc, p[i]);
+      p[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+  std::size_t nc = (n + chunk - 1) / chunk;
+  // Unlike the library scans (which require z to be an identity of f), the
+  // stream-of-blocks loop seeds each block with a *running* value, so the
+  // chunk sums must fold the elements alone (chunks are nonempty).
+  auto sums = parray<T>::tabulate(
+      nc,
+      [&](std::size_t j) {
+        std::size_t lo = j * chunk, hi = std::min(n, lo + chunk);
+        T acc = p[lo];
+        for (std::size_t i = lo + 1; i < hi; ++i) acc = f(acc, p[i]);
+        return acc;
+      },
+      1);
+  auto partials = parray<T>::uninitialized(nc);
+  T acc = z;
+  for (std::size_t j = 0; j < nc; ++j) {
+    ::new (partials.data() + j) T(acc);
+    acc = f(acc, sums[j]);
+  }
+  apply(nc, [&](std::size_t j) {
+    std::size_t lo = j * chunk, hi = std::min(n, lo + chunk);
+    T a = partials[j];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next = f(a, p[i]);
+      p[i] = a;
+      a = next;
+    }
+  });
+  return acc;
+}
+
+}  // namespace pbds::sob

@@ -1,0 +1,120 @@
+// Parallel stable merge sort — a ParlayLib-style primitive substrate.
+//
+// Not part of the paper's delayed-sequence core, but part of the toolkit a
+// parlay-like library ships with; used here by examples and available to
+// downstream code that needs to order the output of a delayed pipeline
+// (e.g. postings lists, hull points). Divide-and-conquer with a parallel
+// merge that splits the larger run at its median and binary-searches the
+// split point in the smaller run; O(n log n) work, O(log^3 n) span.
+//
+// Stability: on ties the merge always prefers the left run (upper_bound on
+// the left median), so equal elements keep their input order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "array/parray.hpp"
+#include "sched/parallel.hpp"
+
+namespace pbds::sort {
+
+namespace detail {
+
+inline constexpr std::size_t kSeqSortCutoff = 1 << 12;
+inline constexpr std::size_t kSeqMergeCutoff = 1 << 12;
+
+// Merge [a, a+na) and [b, b+nb) into out, stably (ties from a first).
+template <typename T, typename Cmp>
+void merge_into(const T* a, std::size_t na, const T* b, std::size_t nb,
+                T* out, const Cmp& cmp) {
+  if (na + nb <= kSeqMergeCutoff) {
+    // std::merge is stable with ties taken from the first range.
+    std::merge(a, a + na, b, b + nb, out, cmp);
+    return;
+  }
+  // Split the larger run at its middle; binary-search the other run.
+  // Stability invariant: every a-element equal to the pivot must land in
+  // the same half as (or to the left of) every equal b-element, because a
+  // precedes b in the input.
+  if (na < nb) {
+    // Pivot from b: a-elements equal to it must go LEFT (upper_bound on a)
+    // so they precede the pivot, which starts the right half.
+    std::size_t mb = nb / 2;
+    std::size_t ma = static_cast<std::size_t>(
+        std::upper_bound(a, a + na, b[mb], cmp) - a);
+    fork2join(
+        [&] { merge_into(a, ma, b, mb, out, cmp); },
+        [&] {
+          merge_into(a + ma, na - ma, b + mb, nb - mb, out + ma + mb, cmp);
+        });
+  } else {
+    // Pivot from a: b-elements equal to it must go RIGHT (lower_bound on
+    // b) so they follow the pivot and any later equal a-elements.
+    std::size_t ma = na / 2;
+    std::size_t mb = static_cast<std::size_t>(
+        std::lower_bound(b, b + nb, a[ma], cmp) - b);
+    fork2join(
+        [&] { merge_into(a, ma, b, mb, out, cmp); },
+        [&] {
+          merge_into(a + ma, na - ma, b + mb, nb - mb, out + ma + mb, cmp);
+        });
+  }
+}
+
+// Sort [src, src+n); result lands in src if !to_scratch, else in scratch.
+// Classic ping-pong to avoid a copy per level.
+template <typename T, typename Cmp>
+void sort_rec(T* src, T* scratch, std::size_t n, const Cmp& cmp,
+              bool to_scratch) {
+  if (n <= kSeqSortCutoff) {
+    std::stable_sort(src, src + n, cmp);
+    if (to_scratch) std::copy(src, src + n, scratch);
+    return;
+  }
+  std::size_t half = n / 2;
+  fork2join(
+      [&] { sort_rec(src, scratch, half, cmp, !to_scratch); },
+      [&] {
+        sort_rec(src + half, scratch + half, n - half, cmp, !to_scratch);
+      });
+  // Halves are now in the opposite buffer; merge back into the target.
+  T* from = to_scratch ? src : scratch;
+  T* to = to_scratch ? scratch : src;
+  merge_into(from, half, from + half, n - half, to, cmp);
+}
+
+}  // namespace detail
+
+// Sort in place (stable).
+template <typename T, typename Cmp = std::less<T>>
+void sort_inplace(parray<T>& a, Cmp cmp = Cmp{}) {
+  std::size_t n = a.size();
+  if (n <= 1) return;
+  if (n <= detail::kSeqSortCutoff) {
+    std::stable_sort(a.begin(), a.end(), cmp);
+    return;
+  }
+  auto scratch = parray<T>::uninitialized(n);
+  // sort_rec with to_scratch=false leaves the result in `a`. The scratch
+  // elements are constructed by the first merge pass that writes them; for
+  // trivially-destructible T (required here) uninitialized reads never
+  // happen because merges only read what a previous level wrote.
+  static_assert(std::is_trivially_copyable_v<T>,
+                "sort_inplace requires trivially copyable elements");
+  detail::sort_rec(a.data(), scratch.data(), n, cmp, false);
+}
+
+// Sorted copy of any random-access sequence (parray, RAD, ...).
+template <typename Seq, typename Cmp = std::less<>>
+[[nodiscard]] auto sorted(const Seq& s, Cmp cmp = Cmp{}) {
+  using T = std::decay_t<decltype(s[0])>;
+  auto out = parray<T>::tabulate(s.size(),
+                                 [&](std::size_t i) { return s[i]; });
+  sort_inplace(out, cmp);
+  return out;
+}
+
+}  // namespace pbds::sort

@@ -1,0 +1,166 @@
+// Delayed streams — the paper's Fig. 8 (`s.*` functions).
+//
+// A *stream* is a cheap, single-use, sequentially-iterable producer of
+// elements. The concept required of a stream S here is:
+//
+//   typename S::value_type;
+//   S::value_type S::next();     // called exactly `len` times by consumers
+//
+// Streams compose by *template nesting* (a map_stream physically contains
+// its source stream), so a whole fused pipeline is one concrete type whose
+// next() the compiler inlines end-to-end — this is the §4.4
+// forward-iterator design, and it is why BID fusion costs no per-element
+// function calls.
+//
+// Construction of every stream is O(1). Streams do not know their own
+// length; the enclosing BID tracks block lengths and consumers take an
+// explicit count (the paper's streams carry s.length; here the length
+// lives one level up to keep stream objects to bare state).
+//
+// Streams are single-use: a BID's *block function* may be invoked many
+// times (e.g. scan reads its input in phase 1 and again in phase 3), and
+// each invocation manufactures a fresh stream, so block functions must be
+// pure.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "memory/counting_allocator.hpp"
+
+namespace pbds::stream {
+
+// --- producers / adapters (all O(1) to construct) -------------------------
+
+// Elements f(i), f(i+1), ... — the stream form of tabulate (s.tabulate).
+template <typename F>
+struct tabulate_stream {
+  using value_type =
+      std::decay_t<std::invoke_result_t<F&, std::size_t>>;
+  F f;
+  std::size_t i;
+
+  value_type next() { return f(i++); }
+};
+
+template <typename F>
+tabulate_stream(F, std::size_t) -> tabulate_stream<F>;
+
+// Elements read from contiguous memory.
+template <typename T>
+struct pointer_stream {
+  using value_type = T;
+  const T* p;
+
+  value_type next() { return *p++; }
+};
+
+// s.map
+template <typename S, typename G>
+struct map_stream {
+  using value_type =
+      std::decay_t<std::invoke_result_t<G&, typename S::value_type>>;
+  S s;
+  G g;
+
+  value_type next() { return g(s.next()); }
+};
+
+template <typename S, typename G>
+map_stream(S, G) -> map_stream<S, G>;
+
+// s.zip
+template <typename S1, typename S2>
+struct zip_stream {
+  using value_type =
+      std::pair<typename S1::value_type, typename S2::value_type>;
+  S1 a;
+  S2 b;
+
+  value_type next() {
+    auto x = a.next();  // sequence the two pulls deterministically
+    auto y = b.next();
+    return value_type(std::move(x), std::move(y));
+  }
+};
+
+template <typename S1, typename S2>
+zip_stream(S1, S2) -> zip_stream<S1, S2>;
+
+// s.scan — *exclusive* running fold: emits acc before folding in the next
+// input element. Seeding acc with the block's prefix (phase 2 of the
+// blocked scan) turns a per-block scan into a global one.
+template <typename S, typename F>
+struct scan_stream {
+  using value_type = typename S::value_type;
+  S s;
+  F f;
+  value_type acc;
+
+  value_type next() {
+    value_type out = acc;
+    acc = f(acc, s.next());
+    return out;
+  }
+};
+
+template <typename S, typename F, typename T>
+scan_stream(S, F, T) -> scan_stream<S, F>;
+
+// Inclusive variant: emits the fold *including* the current element.
+template <typename S, typename F>
+struct scan_inclusive_stream {
+  using value_type = typename S::value_type;
+  S s;
+  F f;
+  value_type acc;
+
+  value_type next() {
+    acc = f(acc, s.next());
+    return acc;
+  }
+};
+
+template <typename S, typename F, typename T>
+scan_inclusive_stream(S, F, T) -> scan_inclusive_stream<S, F>;
+
+// --- consumers (linear work) ----------------------------------------------
+
+// s.reduce: fold n elements with z as the leftmost operand.
+template <typename S, typename F, typename T>
+T reduce(S s, std::size_t n, const F& f, T z) {
+  for (std::size_t k = 0; k < n; ++k) z = f(z, s.next());
+  return z;
+}
+
+// s.applyStream: run g on each of the n elements, for effect.
+template <typename S, typename G>
+void apply(S s, std::size_t n, const G& g) {
+  for (std::size_t k = 0; k < n; ++k) g(s.next());
+}
+
+// s.packToArray: keep elements satisfying p, appending to a
+// dynamically-resizing space-accounted buffer.
+template <typename S, typename P>
+void pack(S s, std::size_t n,
+          const P& p,
+          memory::tracked_vector<typename S::value_type>& out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    auto x = s.next();
+    if (p(x)) out.push_back(std::move(x));
+  }
+}
+
+// packToArray for filterOp / mapMaybe: f returns std::optional<U>; keep
+// the unwrapped values.
+template <typename S, typename F, typename U>
+void pack_op(S s, std::size_t n, const F& f,
+             memory::tracked_vector<U>& out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (auto r = f(s.next())) out.push_back(std::move(*r));
+  }
+}
+
+}  // namespace pbds::stream

@@ -1,0 +1,87 @@
+// Text substrate for the tokens / wc / grep benchmarks.
+//
+// Corpora are generated per-character from the indexable RNG, so a corpus
+// of any size is produced in parallel with no shared state and is identical
+// run-to-run. Word/line lengths are geometric: each position is a space
+// (resp. newline) independently with probability 1/avg, giving an average
+// word length of avg-1 non-delimiters — matching the paper's "average word
+// length 7" style of workload description.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+
+#include "array/parray.hpp"
+#include "random/rng.hpp"
+
+namespace pbds::text {
+
+constexpr bool is_space(char c) noexcept {
+  return c == ' ' || c == '\n' || c == '\t';
+}
+
+// n characters of space-separated lowercase words; ~1/avg_word_len of the
+// positions are spaces.
+inline parray<char> random_words(std::size_t n, double avg_word_len = 8.0,
+                                 std::uint64_t seed = 7) {
+  random::rng gen(seed);
+  double p_space = 1.0 / avg_word_len;
+  return parray<char>::tabulate(n, [=](std::size_t i) {
+    if (gen.uniform(i) < p_space) return ' ';
+    return static_cast<char>('a' + gen.below(i ^ 0x5bd1e995, 26));
+  });
+}
+
+// n characters of newline-terminated lines of lowercase words; lines
+// average avg_line_len characters, words average avg_word_len.
+inline parray<char> random_lines(std::size_t n, double avg_line_len = 30.0,
+                                 double avg_word_len = 8.0,
+                                 std::uint64_t seed = 11) {
+  random::rng gen(seed);
+  double p_newline = 1.0 / avg_line_len;
+  double p_space = 1.0 / avg_word_len;
+  return parray<char>::tabulate(n, [=](std::size_t i) {
+    double r = gen.uniform(i);
+    if (r < p_newline) return '\n';
+    if (r < p_newline + p_space) return ' ';
+    return static_cast<char>('a' + gen.below(i ^ 0x9747b28cu, 26));
+  });
+}
+
+// Does text[lo, hi) contain `pattern`? Sequential scan (used per line by
+// grep; lines are short).
+inline bool contains(const char* text, std::size_t lo, std::size_t hi,
+                     std::string_view pattern) {
+  if (pattern.empty()) return true;
+  if (hi - lo < pattern.size()) return false;
+  for (std::size_t i = lo; i + pattern.size() <= hi; ++i) {
+    if (std::memcmp(text + i, pattern.data(), pattern.size()) == 0)
+      return true;
+  }
+  return false;
+}
+
+// Reference counts for wc: (lines, words, bytes), semantics of Unix wc:
+// a word is a maximal run of non-whitespace.
+struct wc_counts {
+  std::size_t lines = 0;
+  std::size_t words = 0;
+  std::size_t bytes = 0;
+  friend bool operator==(const wc_counts&, const wc_counts&) = default;
+};
+
+inline wc_counts reference_wc(const parray<char>& text) {
+  wc_counts c;
+  c.bytes = text.size();
+  bool in_word = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') ++c.lines;
+    bool sp = is_space(text[i]);
+    if (!sp && !in_word) ++c.words;
+    in_word = !sp;
+  }
+  return c;
+}
+
+}  // namespace pbds::text

@@ -1,0 +1,168 @@
+// Unit tests for the eager array library (Fig. 7's a.* functions / the A
+// baseline), against straightforward sequential references.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "array/array_ops.hpp"
+#include "core/block.hpp"
+
+namespace {
+
+namespace a = pbds::array_ops;
+using pbds::parray;
+using pbds::scoped_block_size;
+
+auto plus = [](auto x, auto y) { return x + y; };
+
+template <typename T>
+std::vector<T> vec(const parray<T>& p) {
+  return {p.begin(), p.end()};
+}
+
+TEST(ArrayOps, TabulateAndIota) {
+  auto t = a::tabulate(5, [](std::size_t i) { return (int)(i * i); });
+  EXPECT_EQ(vec(t), (std::vector<int>{0, 1, 4, 9, 16}));
+  EXPECT_EQ(vec(a::iota(3)), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ArrayOps, MapMaterializes) {
+  auto t = a::iota(4);
+  auto m = a::map([](std::size_t i) { return i + 10; }, t);
+  EXPECT_EQ(vec(m), (std::vector<std::size_t>{10, 11, 12, 13}));
+}
+
+TEST(ArrayOps, Zip) {
+  auto x = a::iota(3);
+  auto y = a::map([](std::size_t i) { return i * 2; }, x);
+  auto z = a::zip(x, y);
+  EXPECT_EQ(z[2], (std::pair<std::size_t, std::size_t>(2, 4)));
+}
+
+TEST(ArrayOps, ReduceAcrossBlockSizes) {
+  for (std::size_t blk : {1u, 2u, 7u, 100u, 4096u}) {
+    scoped_block_size guard(blk);
+    auto t = a::tabulate(1000, [](std::size_t i) { return (std::int64_t)i; });
+    EXPECT_EQ(a::reduce(plus, std::int64_t{0}, t), 499'500) << blk;
+  }
+}
+
+TEST(ArrayOps, ReduceNonCommutativeAssociative) {
+  // String concatenation is associative but not commutative: the blocked
+  // reduce must preserve order.
+  scoped_block_size guard(3);
+  auto t = a::tabulate(10, [](std::size_t i) {
+    return std::string(1, static_cast<char>('a' + i));
+  });
+  EXPECT_EQ(a::reduce([](std::string x, std::string y) { return x + y; },
+                      std::string{}, t),
+            "abcdefghij");
+}
+
+TEST(ArrayOps, ScanExclusiveMatchesReference) {
+  for (std::size_t blk : {1u, 3u, 64u}) {
+    scoped_block_size guard(blk);
+    for (std::size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 200u}) {
+      auto t = a::tabulate(n, [](std::size_t i) { return (int)(i % 7); });
+      auto [pre, total] = a::scan(plus, 0, t);
+      int acc = 0;
+      ASSERT_EQ(pre.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(pre[i], acc) << "n=" << n << " blk=" << blk << " i=" << i;
+        acc += t[i];
+      }
+      ASSERT_EQ(total, acc);
+    }
+  }
+}
+
+TEST(ArrayOps, ScanInclusiveMatchesReference) {
+  scoped_block_size guard(5);
+  auto t = a::tabulate(17, [](std::size_t i) { return (int)i; });
+  auto [inc, total] = a::scan_inclusive(plus, 0, t);
+  int acc = 0;
+  for (std::size_t i = 0; i < 17; ++i) {
+    acc += (int)i;
+    ASSERT_EQ(inc[i], acc);
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST(ArrayOps, FilterBoundaries) {
+  scoped_block_size guard(4);
+  auto t = a::tabulate(16, [](std::size_t i) { return (int)i; });
+  EXPECT_EQ(a::filter([](int) { return true; }, t).size(), 16u);
+  EXPECT_EQ(a::filter([](int) { return false; }, t).size(), 0u);
+  // Survivors exactly at block boundaries.
+  auto f = a::filter([](int x) { return x % 4 == 3; }, t);
+  EXPECT_EQ(vec(f), (std::vector<int>{3, 7, 11, 15}));
+}
+
+TEST(ArrayOps, FilterOp) {
+  scoped_block_size guard(3);
+  auto t = a::tabulate(10, [](std::size_t i) { return (int)i; });
+  auto f = a::filter_op(
+      [](int x) -> std::optional<std::string> {
+        if (x % 4 == 0) return std::string(static_cast<std::size_t>(x), '*');
+        return std::nullopt;
+      },
+      t);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "****");
+  EXPECT_EQ(f[2], "********");
+}
+
+TEST(ArrayOps, FlattenRagged) {
+  scoped_block_size guard(2);
+  auto nested = parray<parray<int>>::tabulate(4, [](std::size_t i) {
+    return parray<int>::tabulate(i, [i](std::size_t j) {
+      return (int)(i * 10 + j);
+    });
+  });
+  auto flat = a::flatten(nested);
+  EXPECT_EQ(vec(flat), (std::vector<int>{10, 20, 21, 30, 31, 32}));
+}
+
+TEST(ArrayOps, FlattenEmptyOuterAndInners) {
+  auto empty_outer = parray<parray<int>>::tabulate(0, [](std::size_t) {
+    return parray<int>();
+  });
+  EXPECT_EQ(a::flatten(empty_outer).size(), 0u);
+  auto empty_inners = parray<parray<int>>::tabulate(5, [](std::size_t) {
+    return parray<int>();
+  });
+  EXPECT_EQ(a::flatten(empty_inners).size(), 0u);
+}
+
+TEST(ArrayOps, SizeOffsets) {
+  auto [offsets, total] = a::size_offsets(4, [](std::size_t k) {
+    return k * 2;  // sizes 0, 2, 4, 6
+  });
+  EXPECT_EQ(total, 12u);
+  ASSERT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(vec(offsets), (std::vector<std::size_t>{0, 0, 2, 6, 12}));
+}
+
+TEST(ArrayOps, ApplyEach) {
+  auto t = a::iota(100);
+  std::vector<std::atomic<int>> hits(100);
+  a::apply_each(t, [&hits](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ArrayOps, EveryOpAllocatesEagerly) {
+  // The defining property of the A baseline: map allocates O(n).
+  scoped_block_size guard(64);
+  std::size_t n = 1 << 14;
+  auto t = a::tabulate(n, [](std::size_t i) { return (std::int64_t)i; });
+  pbds::memory::space_meter meter;
+  auto m = a::map([](std::int64_t x) { return x + 1; }, t);
+  EXPECT_GE(meter.allocated_bytes(),
+            static_cast<std::int64_t>(n * sizeof(std::int64_t)));
+}
+
+}  // namespace

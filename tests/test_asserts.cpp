@@ -1,0 +1,63 @@
+// Death tests: programmer-error preconditions are enforced by asserts in
+// debug builds (the benchmarks compile with NDEBUG; tests keep asserts on).
+#include <gtest/gtest.h>
+
+#include "core/delayed.hpp"
+
+namespace {
+
+namespace d = pbds::delayed;
+using pbds::parray;
+
+#ifndef NDEBUG
+
+void zip_mismatch_rad_rad() {
+  auto z = d::zip(d::iota(5), d::iota(6));
+  (void)z;
+}
+
+void zip_mismatch_with_bid() {
+  auto pr = d::scan([](std::size_t a, std::size_t b) { return a + b; },
+                    std::size_t{0}, d::iota(5));
+  auto z = d::zip(pr.first, d::iota(7));
+  (void)z;
+}
+
+void parray_out_of_bounds() {
+  auto a = parray<int>::filled(3, 1);
+  volatile int x = a[5];
+  (void)x;
+}
+
+void zero_block_size() { pbds::set_block_size(0); }
+
+TEST(AssertsDeathTest, ZipLengthMismatchRadRad) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(zip_mismatch_rad_rad(), "");
+}
+
+TEST(AssertsDeathTest, ZipLengthMismatchWithBid) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(zip_mismatch_with_bid(), "");
+}
+
+TEST(AssertsDeathTest, ParrayOutOfBounds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(parray_out_of_bounds(), "");
+}
+
+TEST(AssertsDeathTest, ZeroBlockSizeRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(zero_block_size(), "");
+}
+
+#endif  // NDEBUG
+
+TEST(Asserts, BlockSizeRoundTrip) {
+  std::size_t before = pbds::block_size();
+  pbds::set_block_size(77);
+  EXPECT_EQ(pbds::block_size(), 77u);
+  pbds::set_block_size(before);
+}
+
+}  // namespace

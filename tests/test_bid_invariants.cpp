@@ -1,0 +1,135 @@
+// Structural invariants of the BID representation itself: block counts,
+// block lengths, blockification of RADs, and consistency of the global
+// block size across a pipeline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/delayed.hpp"
+
+namespace {
+
+namespace d = pbds::delayed;
+using pbds::scoped_block_size;
+
+TEST(BidInvariants, BlockLengthsSumToN) {
+  for (std::size_t blk : {1u, 2u, 3u, 7u, 64u}) {
+    scoped_block_size guard(blk);
+    for (std::size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 129u}) {
+      auto bd = d::bid_of(d::iota(n));
+      std::size_t total = 0;
+      for (std::size_t j = 0; j < bd.num_blocks(); ++j) {
+        std::size_t len = bd.block_length(j);
+        if (j + 1 < bd.num_blocks()) {
+          ASSERT_EQ(len, blk) << "non-final block must be full";
+        } else {
+          ASSERT_GE(len, 1u) << "final block must be nonempty";
+          ASSERT_LE(len, blk);
+        }
+        total += len;
+      }
+      ASSERT_EQ(total, n) << "n=" << n << " blk=" << blk;
+    }
+  }
+}
+
+TEST(BidInvariants, NumBlocksFormula) {
+  EXPECT_EQ(pbds::num_blocks_for(0, 4), 0u);
+  EXPECT_EQ(pbds::num_blocks_for(1, 4), 1u);
+  EXPECT_EQ(pbds::num_blocks_for(4, 4), 1u);
+  EXPECT_EQ(pbds::num_blocks_for(5, 4), 2u);
+  EXPECT_EQ(pbds::num_blocks_for(8, 4), 2u);
+  EXPECT_EQ(pbds::num_blocks_for(9, 4), 3u);
+}
+
+TEST(BidInvariants, BlockifiedRadYieldsSameElements) {
+  scoped_block_size guard(5);
+  auto r = d::map([](std::size_t i) { return 3 * i + 1; }, d::iota(23));
+  auto bd = d::bid_of(r);
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < bd.num_blocks(); ++j) {
+    auto st = bd.block(j);
+    for (std::size_t k = 0; k < bd.block_length(j); ++k, ++i) {
+      ASSERT_EQ(st.next(), 3 * i + 1) << i;
+    }
+  }
+  ASSERT_EQ(i, 23u);
+}
+
+TEST(BidInvariants, BlockifiedRadRespectsOffset) {
+  scoped_block_size guard(4);
+  auto r = d::drop(d::iota(100), 37);  // offset-shifted RAD
+  auto bd = d::bid_of(r);
+  auto st = bd.block(0);
+  EXPECT_EQ(st.next(), 37u);
+  auto st2 = bd.block(2);  // starts at element 8 of the view
+  EXPECT_EQ(st2.next(), 45u);
+}
+
+TEST(BidInvariants, PipelinePreservesBlockSize) {
+  scoped_block_size guard(6);
+  auto t = d::iota(50);
+  auto [pre, tot] = d::scan([](std::size_t a, std::size_t b) { return a + b; },
+                            std::size_t{0}, t);
+  (void)tot;
+  EXPECT_EQ(pre.block_size, 6u);
+  auto m = d::map([](std::size_t x) { return x; }, pre);
+  EXPECT_EQ(m.block_size, 6u);
+  auto z = d::zip(m, d::iota(50));
+  EXPECT_EQ(z.block_size, 6u);
+  auto f = d::filter([](const auto&) { return true; }, z);
+  EXPECT_EQ(f.block_size, 6u);
+}
+
+TEST(BidInvariants, ScanOutputLengthAndTotal) {
+  scoped_block_size guard(3);
+  for (std::size_t n : {0u, 1u, 3u, 10u}) {
+    auto [pre, tot] = d::scan(
+        [](std::size_t a, std::size_t b) { return a + b; }, std::size_t{0},
+        d::iota(n));
+    EXPECT_EQ(pre.size(), n);
+    EXPECT_EQ(tot, n == 0 ? 0 : n * (n - 1) / 2);
+  }
+}
+
+TEST(BidInvariants, FilterOutputUsesInputBlockSize) {
+  // The filter's output BID must keep the pipeline's blocking so later
+  // zips align.
+  scoped_block_size guard(8);
+  auto f1 = d::filter([](std::size_t x) { return x % 2 == 0; }, d::iota(64));
+  auto f2 = d::filter([](std::size_t x) { return x % 2 == 1; }, d::iota(64));
+  EXPECT_EQ(f1.size(), f2.size());
+  EXPECT_EQ(f1.block_size, f2.block_size);
+  auto z = d::zip(f1, f2);  // must not assert
+  auto pairs = d::to_array(z);
+  EXPECT_EQ(pairs[5], (std::pair<std::size_t, std::size_t>(10, 11)));
+}
+
+}  // namespace
+
+namespace {
+
+TEST(BidInvariants, ZipOfOffsetShiftedRads) {
+  // RADs carry (offset, n, f); zip must respect both sides' offsets.
+  namespace dd = pbds::delayed;
+  auto a = dd::drop(dd::iota(100), 10);  // 10..99
+  auto b = dd::drop(dd::iota(100), 20);  // 20..99
+  auto z = dd::zip(dd::take(a, 80), b);  // both length 80
+  auto arr = dd::to_array(z);
+  ASSERT_EQ(arr.size(), 80u);
+  EXPECT_EQ(arr[0], (std::pair<std::size_t, std::size_t>(10, 20)));
+  EXPECT_EQ(arr[79], (std::pair<std::size_t, std::size_t>(89, 99)));
+}
+
+TEST(BidInvariants, ReverseComposesWithZip) {
+  namespace dd = pbds::delayed;
+  auto fwd = dd::iota(10);
+  auto rev = dd::reverse(dd::iota(10));
+  auto arr = dd::to_array(dd::zip(fwd, rev));
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(arr[i], (std::pair<std::size_t, std::size_t>(i, 9 - i)));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Compile-time tests: the library's types model the concepts they claim,
+// and non-models are rejected. Everything here is static_assert — if this
+// file compiles, the tests pass; the single runtime TEST keeps ctest aware
+// of the file.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/concepts.hpp"
+#include "core/delayed.hpp"
+#include "stream/streams.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+namespace d = pbds::delayed;
+namespace st = pbds::stream;
+
+// --- Stream -----------------------------------------------------------------
+
+using tab_stream = st::tabulate_stream<std::size_t (*)(std::size_t)>;
+static_assert(Stream<tab_stream>);
+static_assert(Stream<st::pointer_stream<int>>);
+static_assert(Stream<st::map_stream<tab_stream, int (*)(std::size_t)>>);
+static_assert(Stream<st::zip_stream<tab_stream, tab_stream>>);
+static_assert(!Stream<int>);
+static_assert(!Stream<std::vector<int>>);
+
+// --- RandomAccessSequence ------------------------------------------------------
+
+static_assert(RandomAccessSequence<parray<int>>);
+static_assert(RandomAccessSequence<std::vector<double>>);
+static_assert(!RandomAccessSequence<int>);
+
+// RADs are random-access; streams are not.
+using iota_rad = decltype(d::iota(10));
+static_assert(RandomAccessSequence<iota_rad>);
+static_assert(!RandomAccessSequence<tab_stream>);
+
+// --- DelayedSequence -------------------------------------------------------------
+
+static_assert(DelayedSequence<iota_rad>);
+static_assert(is_rad_v<iota_rad>);
+using mapped_rad = decltype(d::map(std::declval<int (*)(std::size_t)>(),
+                                   d::iota(10)));
+static_assert(DelayedSequence<mapped_rad>);
+static_assert(!DelayedSequence<parray<int>>);
+static_assert(!DelayedSequence<std::vector<int>>);
+
+// A scan output is a BID and still a delayed sequence, but NOT
+// random-access — the defining asymmetry of the two representations.
+using scan_bid = decltype(d::scan(std::declval<std::size_t (*)(std::size_t,
+                                                               std::size_t)>(),
+                                  std::size_t{0}, d::iota(10))
+                              .first);
+static_assert(DelayedSequence<scan_bid>);
+static_assert(is_bid_v<scan_bid>);
+static_assert(!RandomAccessSequence<scan_bid>);
+
+// The BID's block payload models Stream, and its block function models
+// BlockFunction.
+static_assert(Stream<typename scan_bid::stream_type>);
+static_assert(BlockFunction<typename scan_bid::block_fn_type>);
+
+// --- IndexFunction -----------------------------------------------------------------
+
+static_assert(IndexFunction<int (*)(std::size_t)>);
+static_assert(!IndexFunction<int>);
+
+TEST(Concepts, CompileTimeChecksHold) { SUCCEED(); }
+
+}  // namespace

@@ -1,0 +1,332 @@
+// Unit tests for the block-delayed sequence library (the paper's
+// contribution): per-operation semantics, laziness (what is and is not
+// evaluated eagerly), and the allocation behaviour the cost semantics
+// promises.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "core/delayed.hpp"
+#include "memory/tracking.hpp"
+
+namespace {
+
+namespace d = pbds::delayed;
+using pbds::parray;
+using pbds::scoped_block_size;
+
+template <typename Seq>
+std::vector<typename std::decay_t<decltype(d::as_seq(
+    std::declval<Seq>()))>::value_type>
+collect(const Seq& s) {
+  auto arr = d::to_array(s);
+  return {arr.begin(), arr.end()};
+}
+
+auto plus = [](auto a, auto b) { return a + b; };
+
+TEST(Delayed, TabulateIsLazy) {
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(1000, [&calls](std::size_t i) {
+    calls++;
+    return i;
+  });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(d::length(t), 1000u);
+  EXPECT_EQ(t[5], 5u);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Delayed, MapOverRadIsLazyAndComposes) {
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(100, [](std::size_t i) { return (int)i; });
+  auto m = d::map(
+      [&calls](int x) {
+        calls++;
+        return x * 2;
+      },
+      t);
+  auto m2 = d::map([](int x) { return x + 1; }, m);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(m2[10], 21);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Delayed, IotaAndView) {
+  auto v = collect(d::iota(5));
+  EXPECT_EQ(v, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  auto arr = parray<int>::tabulate(4, [](std::size_t i) { return (int)i; });
+  EXPECT_EQ(collect(d::view(arr)), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Delayed, ZipRadRadStaysRandomAccess) {
+  auto a = d::iota(10);
+  auto b = d::map([](std::size_t i) { return i * i; }, d::iota(10));
+  auto z = d::zip(a, b);
+  static_assert(pbds::is_rad_v<decltype(z)>);
+  EXPECT_EQ(z[3], (std::pair<std::size_t, std::size_t>(3, 9)));
+}
+
+TEST(Delayed, ZipWithBidGoesBlockwise) {
+  scoped_block_size guard(4);
+  auto [pre, tot] = d::scan(plus, std::size_t{0}, d::iota(10));
+  auto z = d::zip(pre, d::iota(10));
+  static_assert(pbds::is_bid_v<decltype(z)>);
+  auto v = collect(z);
+  ASSERT_EQ(v.size(), 10u);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(v[i], (std::pair<std::size_t, std::size_t>(acc, i)));
+    acc += i;
+  }
+  EXPECT_EQ(tot, 45u);
+}
+
+TEST(Delayed, ReduceMatchesSequentialFold) {
+  scoped_block_size guard(7);
+  auto t = d::tabulate(100, [](std::size_t i) { return (std::int64_t)i; });
+  EXPECT_EQ(d::reduce(plus, std::int64_t{0}, t), 4950);
+}
+
+TEST(Delayed, ReduceEmptyReturnsIdentity) {
+  EXPECT_EQ(d::reduce(plus, 42, d::tabulate(0, [](std::size_t) { return 1; })),
+            42);
+}
+
+TEST(Delayed, ScanExclusiveSemantics) {
+  scoped_block_size guard(3);
+  auto t = d::tabulate(7, [](std::size_t i) { return (int)i + 1; });
+  auto [pre, total] = d::scan(plus, 0, t);
+  EXPECT_EQ(total, 28);
+  EXPECT_EQ(collect(pre), (std::vector<int>{0, 1, 3, 6, 10, 15, 21}));
+}
+
+TEST(Delayed, ScanInclusiveSemantics) {
+  scoped_block_size guard(3);
+  auto t = d::tabulate(7, [](std::size_t i) { return (int)i + 1; });
+  auto [inc, total] = d::scan_inclusive(plus, 0, t);
+  EXPECT_EQ(total, 28);
+  EXPECT_EQ(collect(inc), (std::vector<int>{1, 3, 6, 10, 15, 21, 28}));
+}
+
+TEST(Delayed, ScanOutputIsDelayedAndRereadsInput) {
+  // The paper's recompute tradeoff: phase 1 reads everything once; phase 3
+  // (delayed) reads again only when the output is consumed.
+  scoped_block_size guard(8);
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(64, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto [pre, total] = d::scan(plus, 0, t);
+  EXPECT_EQ(calls.load(), 64);  // phase 1 only
+  (void)total;
+  auto arr = d::to_array(pre);  // phase 3 runs now
+  EXPECT_EQ(calls.load(), 128);
+  EXPECT_EQ(arr[63], 63 * 62 / 2);
+}
+
+TEST(Delayed, ScanAllocatesOnlyPartials) {
+  // Cost semantics (Fig. 11): eager allocation of scan is |X|/B, not |X|.
+  scoped_block_size guard(64);
+  std::size_t n = 64 * 64;  // 64 blocks
+  auto t = d::tabulate(n, [](std::size_t i) { return (std::int64_t)i; });
+  pbds::memory::space_meter meter;
+  auto [pre, total] = d::scan(plus, std::int64_t{0}, t);
+  (void)total;
+  // sums + partials: 2 * 64 * 8 bytes, far below n * 8.
+  EXPECT_LE(meter.allocated_bytes(),
+            static_cast<std::int64_t>(4 * (n / 64) * sizeof(std::int64_t)));
+}
+
+TEST(Delayed, FilterKeepsOrderAcrossBlocks) {
+  scoped_block_size guard(5);
+  auto t = d::tabulate(23, [](std::size_t i) { return (int)i; });
+  auto f = d::filter([](int x) { return x % 2 == 0; }, t);
+  EXPECT_EQ(d::length(f), 12u);
+  EXPECT_EQ(collect(f),
+            (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22}));
+}
+
+TEST(Delayed, FilterAllAndNone) {
+  scoped_block_size guard(4);
+  auto t = d::tabulate(10, [](std::size_t i) { return (int)i; });
+  EXPECT_EQ(d::length(d::filter([](int) { return true; }, t)), 10u);
+  EXPECT_EQ(d::length(d::filter([](int) { return false; }, t)), 0u);
+  EXPECT_TRUE(collect(d::filter([](int) { return false; }, t)).empty());
+}
+
+TEST(Delayed, FilterAllocatesSurvivorsOnly) {
+  // Fig. 11: filter's eager allocation is |Y| + |X|/B, not |X|.
+  scoped_block_size guard(256);
+  std::size_t n = 1 << 16;
+  auto t = d::tabulate(n, [](std::size_t i) { return (std::int64_t)i; });
+  pbds::memory::space_meter meter;
+  auto f = d::filter([](std::int64_t x) { return x % 100 == 0; }, t);
+  EXPECT_EQ(d::length(f), n / 100 + 1);
+  // Survivors ~ n/100 int64s, plus offsets ~ (n/256) size_ts, plus
+  // geometric grow slack; well below n * 8.
+  EXPECT_LE(meter.allocated_bytes(), static_cast<std::int64_t>(n));
+}
+
+TEST(Delayed, FilterOpTransformsSurvivors) {
+  scoped_block_size guard(3);
+  auto t = d::tabulate(10, [](std::size_t i) { return (int)i; });
+  auto f = d::filter_op(
+      [](int x) -> std::optional<double> {
+        if (x % 3 == 0) return x * 1.5;
+        return std::nullopt;
+      },
+      t);
+  EXPECT_EQ(collect(f), (std::vector<double>{0.0, 4.5, 9.0, 13.5}));
+}
+
+TEST(Delayed, FilterOpRunsEffectExactlyOncePerElement) {
+  // BFS's tryVisit relies on this (Fig. 6).
+  scoped_block_size guard(4);
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(100, [](std::size_t i) { return (int)i; });
+  auto f = d::filter_op(
+      [&calls](int x) -> std::optional<int> {
+        calls++;
+        if (x % 2 == 0) return x;
+        return std::nullopt;
+      },
+      t);
+  EXPECT_EQ(calls.load(), 100);  // packing is eager, exactly once
+  auto v = collect(f);           // draining does NOT re-run the effect
+  EXPECT_EQ(calls.load(), 100);
+  EXPECT_EQ(v.size(), 50u);
+}
+
+TEST(Delayed, FlattenConcatenatesNestedRads) {
+  scoped_block_size guard(4);
+  auto nested = d::map(
+      [](std::size_t i) {
+        return d::tabulate(i, [i](std::size_t j) { return 10 * i + j; });
+      },
+      d::iota(5));
+  auto flat = d::flatten(nested);
+  EXPECT_EQ(d::length(flat), 0u + 1 + 2 + 3 + 4);
+  EXPECT_EQ(collect(flat),
+            (std::vector<std::size_t>{10, 20, 21, 30, 31, 32, 40, 41, 42, 43}));
+}
+
+TEST(Delayed, FlattenWithEmptyInners) {
+  scoped_block_size guard(2);
+  auto nested = d::map(
+      [](std::size_t i) {
+        std::size_t len = (i % 2 == 0) ? 0 : 2;
+        return d::tabulate(len, [i](std::size_t j) { return i * 100 + j; });
+      },
+      d::iota(6));
+  EXPECT_EQ(collect(d::flatten(nested)),
+            (std::vector<std::size_t>{100, 101, 300, 301, 500, 501}));
+}
+
+TEST(Delayed, FlattenAllEmpty) {
+  auto nested = d::map(
+      [](std::size_t) { return d::tabulate(0, [](std::size_t) { return 0; }); },
+      d::iota(4));
+  EXPECT_EQ(d::length(d::flatten(nested)), 0u);
+}
+
+TEST(Delayed, FlattenOfBidInnersForcesThem) {
+  scoped_block_size guard(4);
+  // Inner sequences are scan outputs (BIDs); flatten must force them.
+  auto nested = d::map(
+      [](std::size_t i) {
+        auto [pre, tot] =
+            d::scan(plus, std::size_t{0},
+                    d::tabulate(i + 1, [](std::size_t j) { return j + 1; }));
+        (void)tot;
+        return pre;
+      },
+      d::iota(3));
+  auto flat = d::flatten(nested);
+  // i=0: [0]; i=1: [0,1]; i=2: [0,1,3]
+  EXPECT_EQ(collect(flat), (std::vector<std::size_t>{0, 0, 1, 0, 1, 3}));
+}
+
+TEST(Delayed, ForceMaterializesOnce) {
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(50, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto f = d::force(t);
+  EXPECT_EQ(calls.load(), 50);
+  // Consuming the forced RAD twice does not re-evaluate.
+  EXPECT_EQ(d::reduce(plus, 0, f), 1225);
+  EXPECT_EQ(d::reduce(plus, 0, f), 1225);
+  EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(Delayed, ForcedSequenceOutlivesSource) {
+  // force() hands back shared ownership: safe after the source is gone.
+  auto f = [] {
+    auto arr = parray<int>::tabulate(10, [](std::size_t i) { return (int)i; });
+    return d::force(d::map([](int x) { return x + 1; }, arr));
+  }();
+  EXPECT_EQ(d::reduce(plus, 0, f), 55);
+}
+
+TEST(Delayed, ApplyEachVisitsEverythingOnce) {
+  scoped_block_size guard(8);
+  std::vector<std::atomic<int>> hits(100);
+  auto t = d::iota(100);
+  d::apply_each(t, [&hits](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Delayed, ToArrayOfBidWritesAtCorrectOffsets) {
+  scoped_block_size guard(3);
+  auto [pre, tot] = d::scan(plus, 0, d::tabulate(10, [](std::size_t) {
+                              return 1;
+                            }));
+  (void)tot;
+  auto arr = d::to_array(d::map([](int x) { return x * 2; }, pre));
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(arr[i], 2 * static_cast<int>(i));
+}
+
+TEST(Delayed, ConveniencesSumCountAllAny) {
+  auto t = d::tabulate(10, [](std::size_t i) { return (int)i; });
+  EXPECT_EQ(d::sum(t), 45);
+  EXPECT_EQ(d::count_if([](int x) { return x > 6; }, t), 3u);
+  EXPECT_TRUE(d::all_of([](int x) { return x < 10; }, t));
+  EXPECT_FALSE(d::all_of([](int x) { return x < 9; }, t));
+  EXPECT_TRUE(d::any_of([](int x) { return x == 7; }, t));
+  EXPECT_FALSE(d::any_of([](int x) { return x == 17; }, t));
+}
+
+TEST(Delayed, DelayedValuesAreSelfContained) {
+  // A BID can be returned from the scope that created it; shared_ptrs keep
+  // the packed blocks and offsets alive.
+  scoped_block_size guard(4);
+  auto make = [] {
+    auto t = d::tabulate(20, [](std::size_t i) { return (int)i; });
+    return d::filter([](int x) { return x % 2 == 0; }, t);
+  };
+  auto f = make();
+  EXPECT_EQ(d::length(f), 10u);
+  EXPECT_EQ(d::reduce(plus, 0, f), 90);
+}
+
+TEST(Delayed, PipelineFusedThroughScanScan) {
+  // scan followed by scan — a case index fusion alone cannot handle (§1).
+  scoped_block_size guard(4);
+  auto t = d::tabulate(8, [](std::size_t) { return 1; });
+  auto [s1, t1] = d::scan(plus, 0, t);
+  auto [s2, t2] = d::scan(plus, 0, s1);
+  EXPECT_EQ(t1, 8);
+  EXPECT_EQ(t2, 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);  // sum of s1's elements
+  EXPECT_EQ(collect(s2), (std::vector<int>{0, 0, 1, 3, 6, 10, 15, 21}));
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for the derived delayed operations (enumerate, take, drop,
+// reverse, singleton, append, min/max) — including their laziness and
+// representation-preservation guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/delayed.hpp"
+
+namespace {
+
+namespace d = pbds::delayed;
+using pbds::parray;
+using pbds::scoped_block_size;
+
+auto plus = [](auto a, auto b) { return a + b; };
+
+template <typename Seq>
+auto collect(const Seq& s) {
+  auto arr = d::to_array(s);
+  return std::vector<typename decltype(arr)::value_type>(arr.begin(),
+                                                         arr.end());
+}
+
+TEST(DelayedExtras, Singleton) {
+  auto s = d::singleton(std::string("only"));
+  EXPECT_EQ(d::length(s), 1u);
+  EXPECT_EQ(s[0], "only");
+}
+
+TEST(DelayedExtras, EnumeratePairsWithIndices) {
+  auto t = d::tabulate(4, [](std::size_t i) { return (int)(i * 10); });
+  auto e = d::enumerate(t);
+  auto v = collect(e);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], (std::pair<std::size_t, int>(3, 30)));
+}
+
+TEST(DelayedExtras, EnumerateOfBid) {
+  scoped_block_size guard(2);
+  auto [pre, tot] = d::scan(plus, 0, d::tabulate(5, [](std::size_t) {
+                              return 1;
+                            }));
+  (void)tot;
+  auto v = collect(d::enumerate(pre));
+  EXPECT_EQ(v[4], (std::pair<std::size_t, int>(4, 4)));
+}
+
+TEST(DelayedExtras, TakeOnRadIsLazy) {
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(1000, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto front = d::take(t, 3);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(collect(front), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(calls.load(), 3);  // only the taken prefix was evaluated
+}
+
+TEST(DelayedExtras, TakeOnBidTruncatesWithoutRealigning) {
+  scoped_block_size guard(4);
+  auto [pre, tot] = d::scan(plus, 0, d::tabulate(20, [](std::size_t) {
+                              return 1;
+                            }));
+  (void)tot;
+  auto front = d::take(pre, 10);
+  static_assert(pbds::is_bid_v<decltype(front)>);
+  EXPECT_EQ(collect(front),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(DelayedExtras, TakeClampsToLength) {
+  auto t = d::iota(5);
+  EXPECT_EQ(d::length(d::take(t, 100)), 5u);
+  EXPECT_EQ(d::length(d::take(t, 0)), 0u);
+}
+
+TEST(DelayedExtras, DropOnRadShiftsOffset) {
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(100, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto rest = d::drop(t, 97);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(collect(rest), (std::vector<int>{97, 98, 99}));
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(DelayedExtras, DropClampsToLength) {
+  auto t = d::iota(5);
+  EXPECT_EQ(d::length(d::drop(t, 100)), 0u);
+  EXPECT_EQ(collect(d::drop(t, 0)), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DelayedExtras, DropOnBidForces) {
+  scoped_block_size guard(3);
+  auto [pre, tot] = d::scan(plus, 0, d::tabulate(10, [](std::size_t) {
+                              return 2;
+                            }));
+  (void)tot;
+  EXPECT_EQ(collect(d::drop(pre, 7)), (std::vector<int>{14, 16, 18}));
+}
+
+TEST(DelayedExtras, TakeDropPartition) {
+  auto t = d::map([](std::size_t i) { return (int)(i * i); }, d::iota(10));
+  for (std::size_t k : {0u, 1u, 5u, 10u}) {
+    auto front = collect(d::take(t, k));
+    auto back = collect(d::drop(t, k));
+    front.insert(front.end(), back.begin(), back.end());
+    EXPECT_EQ(front, collect(t)) << k;
+  }
+}
+
+TEST(DelayedExtras, ReverseIsLazyInvolution) {
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(6, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto r = d::reverse(t);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(collect(r), (std::vector<int>{5, 4, 3, 2, 1, 0}));
+  EXPECT_EQ(collect(d::reverse(r)), collect(t));
+}
+
+TEST(DelayedExtras, AppendConcatenates) {
+  auto a = d::tabulate(3, [](std::size_t i) { return (int)i; });
+  auto b = d::tabulate(2, [](std::size_t i) { return (int)(i + 100); });
+  auto ab = d::append(a, b);
+  EXPECT_EQ(d::length(ab), 5u);
+  EXPECT_EQ(collect(ab), (std::vector<int>{0, 1, 2, 100, 101}));
+  EXPECT_EQ(collect(d::append(b, a)),
+            (std::vector<int>{100, 101, 0, 1, 2}));
+}
+
+TEST(DelayedExtras, AppendWithEmpty) {
+  auto a = d::tabulate(0, [](std::size_t) { return 7; });
+  auto b = d::tabulate(2, [](std::size_t i) { return (int)i; });
+  EXPECT_EQ(collect(d::append(a, b)), (std::vector<int>{0, 1}));
+  EXPECT_EQ(collect(d::append(b, a)), (std::vector<int>{0, 1}));
+}
+
+TEST(DelayedExtras, MinMaxValues) {
+  scoped_block_size guard(4);
+  auto t = d::map([](std::size_t i) { return (int)((i * 7919) % 100) - 50; },
+                  d::iota(1000));
+  int mn = 1000, mx = -1000;
+  for (int x : collect(t)) {
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  EXPECT_EQ(d::min_value(t), mn);
+  EXPECT_EQ(d::max_value(t), mx);
+}
+
+TEST(DelayedExtras, MinMaxOnBid) {
+  scoped_block_size guard(3);
+  auto [pre, tot] = d::scan(plus, 0, d::tabulate(10, [](std::size_t i) {
+                              return (int)i - 5;
+                            }));
+  (void)tot;
+  // exclusive prefix sums of -5..4: 0,-5,-9,-12,-14,-15,-15,-14,-12,-9
+  EXPECT_EQ(d::min_value(pre), -15);
+  EXPECT_EQ(d::max_value(pre), 0);
+}
+
+TEST(DelayedExtras, TakeOfFilterComposition) {
+  scoped_block_size guard(4);
+  auto t = d::iota(100);
+  auto f = d::filter([](std::size_t x) { return x % 7 == 0; }, t);
+  auto v = collect(d::take(f, 3));
+  EXPECT_EQ(v, (std::vector<std::size_t>{0, 7, 14}));
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for the extended delayed operations (flat_map, unzip, pack_index,
+// map_maybe, find_if, index_of, equal, tokens, histogram) and the C++
+// range adapter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/delayed_extras.hpp"
+#include "core/seq_range.hpp"
+
+namespace {
+
+namespace d = pbds::delayed;
+using pbds::parray;
+using pbds::scoped_block_size;
+
+template <typename Seq>
+auto collect(const Seq& s) {
+  auto arr = d::to_array(s);
+  return std::vector<typename decltype(arr)::value_type>(arr.begin(),
+                                                         arr.end());
+}
+
+parray<char> from_string(const std::string& s) {
+  return parray<char>::tabulate(s.size(),
+                                [&](std::size_t i) { return s[i]; });
+}
+
+TEST(ExtrasOps, FlatMapConcatenates) {
+  scoped_block_size guard(3);
+  auto out = d::flat_map(
+      [](std::size_t i) {
+        return d::tabulate(i, [i](std::size_t j) { return 10 * i + j; });
+      },
+      d::iota(4));
+  EXPECT_EQ(collect(out), (std::vector<std::size_t>{10, 20, 21, 30, 31, 32}));
+}
+
+TEST(ExtrasOps, UnzipProjectsBothSides) {
+  auto pairs = d::map(
+      [](std::size_t i) {
+        return std::pair<int, double>(static_cast<int>(i), i * 0.5);
+      },
+      d::iota(5));
+  auto [xs, ys] = d::unzip(pairs);
+  EXPECT_EQ(collect(xs), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(collect(ys), (std::vector<double>{0.0, 0.5, 1.0, 1.5, 2.0}));
+}
+
+TEST(ExtrasOps, PackIndex) {
+  scoped_block_size guard(4);
+  auto idx = d::pack_index(20, [](std::size_t i) { return i % 6 == 1; });
+  EXPECT_EQ(collect(idx), (std::vector<std::size_t>{1, 7, 13, 19}));
+}
+
+TEST(ExtrasOps, MapMaybeAliasesFilterOp) {
+  auto out = d::map_maybe(
+      [](std::size_t i) -> std::optional<int> {
+        if (i % 2 == 0) return static_cast<int>(i * 100);
+        return std::nullopt;
+      },
+      d::iota(5));
+  EXPECT_EQ(collect(out), (std::vector<int>{0, 200, 400}));
+}
+
+TEST(ExtrasOps, FindIfLocatesFirstMatch) {
+  scoped_block_size guard(4);
+  auto t = d::map([](std::size_t i) { return (int)(i * 3); }, d::iota(100));
+  EXPECT_EQ(d::find_if([](int x) { return x > 50; }, t), 17u);  // 17*3=51
+  EXPECT_EQ(d::find_if([](int x) { return x < 0; }, t), std::nullopt);
+  EXPECT_EQ(d::find_if([](int x) { return x == 0; }, t), 0u);
+}
+
+TEST(ExtrasOps, FindIfDoesNotScanPastMatchBlock) {
+  scoped_block_size guard(8);
+  std::atomic<int> calls{0};
+  auto t = d::tabulate(1000, [&calls](std::size_t i) {
+    calls++;
+    return static_cast<int>(i);
+  });
+  auto idx = d::find_if([](int x) { return x == 5; }, t);
+  EXPECT_EQ(idx, 5u);
+  EXPECT_LE(calls.load(), 8);  // stopped inside the first block
+}
+
+TEST(ExtrasOps, IndexOf) {
+  auto t = d::map([](std::size_t i) { return i * i; }, d::iota(50));
+  EXPECT_EQ(d::index_of(t, std::size_t{49}), 7u);
+  EXPECT_EQ(d::index_of(t, std::size_t{50}), std::nullopt);
+}
+
+TEST(ExtrasOps, EqualComparesElementwise) {
+  scoped_block_size guard(3);
+  auto a = d::iota(10);
+  auto b = d::map([](std::size_t i) { return i; }, d::iota(10));
+  auto c = d::map([](std::size_t i) { return i == 9 ? 0 : i; }, d::iota(10));
+  EXPECT_TRUE(d::equal(a, b));
+  EXPECT_FALSE(d::equal(a, c));
+  EXPECT_FALSE(d::equal(a, d::iota(9)));  // length mismatch
+}
+
+TEST(ExtrasOps, TokensLibraryOp) {
+  scoped_block_size guard(4);
+  auto text = from_string("  hello brave  new world ");
+  auto toks = collect(d::tokens(text));
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], (std::pair<std::size_t, std::size_t>(2, 5)));   // hello
+  EXPECT_EQ(toks[1], (std::pair<std::size_t, std::size_t>(8, 5)));   // brave
+  EXPECT_EQ(toks[2], (std::pair<std::size_t, std::size_t>(15, 3)));  // new
+  EXPECT_EQ(toks[3], (std::pair<std::size_t, std::size_t>(19, 5)));  // world
+}
+
+TEST(ExtrasOps, TokensCustomPredicate) {
+  auto text = from_string("12ab34cd56");
+  auto digit_runs = collect(
+      d::tokens(text, [](char c) { return c >= '0' && c <= '9'; }));
+  ASSERT_EQ(digit_runs.size(), 3u);
+  EXPECT_EQ(digit_runs[1], (std::pair<std::size_t, std::size_t>(4, 2)));
+}
+
+TEST(ExtrasOps, TokensEmptyAndAllSpace) {
+  EXPECT_TRUE(collect(d::tokens(from_string(""))).empty());
+  EXPECT_TRUE(collect(d::tokens(from_string("   "))).empty());
+  EXPECT_EQ(collect(d::tokens(from_string("x"))).size(), 1u);
+}
+
+TEST(ExtrasOps, HistogramCounts) {
+  scoped_block_size guard(16);
+  auto t = d::map([](std::size_t i) { return i % 7; }, d::iota(700));
+  auto h = d::histogram(t, 7, [](std::size_t v) { return v; });
+  ASSERT_EQ(h.size(), 7u);
+  for (std::size_t b = 0; b < 7; ++b) EXPECT_EQ(h[b], 100u) << b;
+}
+
+TEST(ExtrasOps, HistogramOfFilteredBid) {
+  scoped_block_size guard(8);
+  auto kept = d::filter([](std::size_t x) { return x % 2 == 0; },
+                        d::iota(100));
+  auto h = d::histogram(kept, 10, [](std::size_t v) { return v / 10; });
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h[b], 5u) << b;
+}
+
+// --- range adapter -----------------------------------------------------------
+
+TEST(SeqRange, RangeForOverRad) {
+  auto t = d::map([](std::size_t i) { return (int)(i + 1); }, d::iota(5));
+  int sum = 0;
+  for (int x : d::elements_of(t)) sum += x;
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(SeqRange, RangeForOverBidCrossesBlocks) {
+  scoped_block_size guard(3);
+  auto [pre, tot] = d::scan([](int a, int b) { return a + b; }, 0,
+                            d::tabulate(10, [](std::size_t) { return 1; }));
+  (void)tot;
+  std::vector<int> got;
+  for (int x : d::elements_of(pre)) got.push_back(x);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(SeqRange, EmptySequence) {
+  auto t = d::tabulate(0, [](std::size_t) { return 1; });
+  auto r = d::elements_of(t);
+  EXPECT_EQ(r.begin(), r.end());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(SeqRange, WorksWithStdAlgorithms) {
+  scoped_block_size guard(4);
+  auto f = d::filter([](std::size_t x) { return x % 3 == 0; }, d::iota(30));
+  auto r = d::elements_of(f);
+  auto n = std::distance(r.begin(), r.end());
+  EXPECT_EQ(n, 10);
+  auto it = std::find(r.begin(), r.end(), std::size_t{9});
+  EXPECT_NE(it, r.end());
+  EXPECT_EQ(*it, 9u);
+}
+
+TEST(SeqRange, RangeOutlivesPipelineScope) {
+  auto r = [] {
+    scoped_block_size guard(2);
+    auto f = d::filter([](std::size_t x) { return x > 6; }, d::iota(10));
+    return d::elements_of(f);  // shared_ptrs inside keep data alive
+  }();
+  std::vector<std::size_t> got(r.begin(), r.end());
+  EXPECT_EQ(got, (std::vector<std::size_t>{7, 8, 9}));
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Differential fuzzing: random pipelines of sequence operations are run
+// through all three libraries and a sequential std::vector model; all four
+// must agree exactly. Each seed drives both the input data and the
+// pipeline shape (op sequence, coefficients), so every case in the sweep
+// is a distinct program.
+//
+// The library interpreter applies ops in chunks of two and materializes
+// between chunks. This keeps template instantiation bounded while testing
+// ALL 64 ordered pairs of operations as *fused* compositions — pairwise
+// fusion (map into scan, scan into filter, filter into zip, ...) is the
+// mechanism the paper introduces, so pairs are the right coverage unit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+using std::int64_t;
+
+enum class op : int {
+  map_affine,      // x -> a*x + b
+  filter_mod,      // keep x mod a == b mod a
+  scan_plus,       // exclusive prefix sums
+  scan_inc_plus,   // inclusive prefix sums
+  zip_iota_add,    // x_i -> x_i + i
+  filter_op_halve, // keep even, halve
+  take_k,          // keep first a*10
+  drop_k,          // drop first b
+  kNumOps
+};
+
+struct step {
+  op o;
+  int64_t a, b;
+};
+
+std::vector<step> make_pipeline(random::rng gen, std::size_t len) {
+  std::vector<step> steps;
+  for (std::size_t i = 0; i < len; ++i) {
+    steps.push_back(step{
+        static_cast<op>(gen.below(3 * i + 100, (std::uint64_t)op::kNumOps)),
+        static_cast<int64_t>(gen.below(3 * i + 101, 7)) + 1,
+        static_cast<int64_t>(gen.below(3 * i + 102, 13))});
+  }
+  return steps;
+}
+
+// --- sequential model ---------------------------------------------------------
+
+void model_apply(std::vector<int64_t>& v, const step& s) {
+  switch (s.o) {
+    case op::map_affine:
+      for (auto& x : v) x = s.a * x + s.b;
+      break;
+    case op::filter_mod: {
+      std::vector<int64_t> keep;
+      for (auto x : v)
+        if (((x % s.a) + s.a) % s.a == s.b % s.a) keep.push_back(x);
+      v = std::move(keep);
+      break;
+    }
+    case op::scan_plus: {
+      int64_t acc = 0;
+      for (auto& x : v) {
+        int64_t nx = acc + x;
+        x = acc;
+        acc = nx;
+      }
+      break;
+    }
+    case op::scan_inc_plus: {
+      int64_t acc = 0;
+      for (auto& x : v) {
+        acc += x;
+        x = acc;
+      }
+      break;
+    }
+    case op::zip_iota_add:
+      for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] += static_cast<int64_t>(i);
+      break;
+    case op::filter_op_halve: {
+      std::vector<int64_t> keep;
+      for (auto x : v)
+        if (x % 2 == 0) keep.push_back(x / 2);
+      v = std::move(keep);
+      break;
+    }
+    case op::take_k:
+      if (v.size() > static_cast<std::size_t>(s.a * 10))
+        v.resize(static_cast<std::size_t>(s.a * 10));
+      break;
+    case op::drop_k:
+      v.erase(v.begin(),
+              v.begin() + std::min(v.size(), static_cast<std::size_t>(s.b)));
+      break;
+    default:
+      break;
+  }
+}
+
+int64_t model_run(std::vector<int64_t> v, const std::vector<step>& steps) {
+  for (const auto& s : steps) model_apply(v, s);
+  int64_t acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    acc += v[i] * static_cast<int64_t>(i % 17 + 1);
+  return acc + static_cast<int64_t>(v.size()) * 1'000'003;
+}
+
+// --- library interpreter --------------------------------------------------------
+
+// Apply one step to a policy sequence and pass the (differently-typed)
+// result to the continuation.
+template <typename P, typename Seq, typename K>
+int64_t apply_one(Seq&& s, const step& st, K&& k) {
+  switch (st.o) {
+    case op::map_affine:
+      return k(P::map([a = st.a, b = st.b](int64_t x) { return a * x + b; },
+                      s));
+    case op::filter_mod:
+      return k(P::filter(
+          [a = st.a, b = st.b](int64_t x) {
+            return ((x % a) + a) % a == b % a;
+          },
+          s));
+    case op::scan_plus:
+      return k(
+          P::scan([](int64_t x, int64_t y) { return x + y; }, int64_t{0}, s)
+              .first);
+    case op::scan_inc_plus:
+      return k(P::scan_inclusive([](int64_t x, int64_t y) { return x + y; },
+                                 int64_t{0}, s)
+                   .first);
+    case op::zip_iota_add:
+      return k(P::map(
+          [](const std::pair<int64_t, std::size_t>& xi) {
+            return xi.first + static_cast<int64_t>(xi.second);
+          },
+          P::zip(s, P::iota(s.size()))));
+    case op::filter_op_halve:
+      return k(P::filter_op(
+          [](int64_t x) -> std::optional<int64_t> {
+            if (x % 2 == 0) return x / 2;
+            return std::nullopt;
+          },
+          s));
+    case op::take_k: {
+      auto arr = P::to_array(std::forward<Seq>(s));
+      std::size_t keep =
+          std::min(arr.size(), static_cast<std::size_t>(st.a * 10));
+      auto sp = std::make_shared<decltype(arr)>(std::move(arr));
+      return k(P::tabulate(keep, [sp](std::size_t i) { return (*sp)[i]; }));
+    }
+    case op::drop_k: {
+      auto arr = P::to_array(std::forward<Seq>(s));
+      std::size_t d = std::min(arr.size(), static_cast<std::size_t>(st.b));
+      std::size_t rest = arr.size() - d;
+      auto sp = std::make_shared<decltype(arr)>(std::move(arr));
+      return k(P::tabulate(rest,
+                           [sp, d](std::size_t i) { return (*sp)[i + d]; }));
+    }
+    default:
+      return 0;
+  }
+}
+
+template <typename P, typename Seq>
+int64_t lib_finish(const Seq& s) {
+  auto weighted = P::map(
+      [](const std::pair<std::size_t, int64_t>& ix) {
+        return ix.second * static_cast<int64_t>(ix.first % 17 + 1);
+      },
+      P::zip(P::iota(s.size()), s));
+  int64_t acc = P::reduce([](int64_t a, int64_t b) { return a + b; },
+                          int64_t{0}, weighted);
+  return acc + static_cast<int64_t>(s.size()) * 1'000'003;
+}
+
+template <typename P>
+int64_t lib_run(parray<int64_t> cur, const std::vector<step>& steps,
+                std::size_t k) {
+  if (k == steps.size()) return lib_finish<P>(P::view(cur));
+  if (k + 1 == steps.size()) {
+    return apply_one<P>(P::view(cur), steps[k],
+                        [&](auto&& s1) { return lib_finish<P>(s1); });
+  }
+  // Two fused ops, then materialize and recurse (bounds template depth
+  // while covering every ordered op pair as a fused composition).
+  return apply_one<P>(P::view(cur), steps[k], [&](auto&& s1) {
+    return apply_one<P>(std::forward<decltype(s1)>(s1), steps[k + 1],
+                        [&](auto&& s2) {
+                          return lib_run<P>(
+                              P::to_array(std::forward<decltype(s2)>(s2)),
+                              steps, k + 2);
+                        });
+  });
+}
+
+struct FuzzParam {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t block;
+  std::size_t pipeline_len;
+};
+
+class FuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzTest, AllLibrariesMatchModel) {
+  auto p = GetParam();
+  scoped_block_size guard(p.block);
+  random::rng gen(p.seed);
+  auto input = parray<int64_t>::tabulate(p.n, [&](std::size_t i) {
+    return static_cast<int64_t>(gen.below(i, 201)) - 100;
+  });
+  auto steps = make_pipeline(gen.split(99), p.pipeline_len);
+  int64_t want = model_run({input.begin(), input.end()}, steps);
+  EXPECT_EQ(lib_run<array_policy>(input.clone(), steps, 0), want);
+  EXPECT_EQ(lib_run<rad_policy>(input.clone(), steps, 0), want);
+  EXPECT_EQ(lib_run<delay_policy>(input.clone(), steps, 0), want);
+}
+
+std::vector<FuzzParam> fuzz_params() {
+  std::vector<FuzzParam> ps;
+  std::uint64_t seed = 1;
+  for (std::size_t n : {0u, 1u, 37u, 1000u, 4099u}) {
+    for (std::size_t block : {1u, 16u, 512u}) {
+      for (std::size_t len : {1u, 2u, 4u, 7u}) {
+        ps.push_back(FuzzParam{seed++, n, block, len});
+      }
+    }
+  }
+  return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzTest, ::testing::ValuesIn(fuzz_params()),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param.seed) +
+                                  "_n" + std::to_string(info.param.n) +
+                                  "_B" + std::to_string(info.param.block) +
+                                  "_L" +
+                                  std::to_string(info.param.pipeline_len);
+                         });
+
+}  // namespace

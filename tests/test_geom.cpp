@@ -1,0 +1,68 @@
+// Unit tests for the geometry substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geom.hpp"
+
+namespace {
+
+namespace gm = pbds::geom;
+
+TEST(Geom, CrossSign) {
+  gm::point2d o{0, 0}, a{1, 0};
+  EXPECT_GT(gm::cross(o, a, {0.5, 1.0}), 0);   // left of o->a
+  EXPECT_LT(gm::cross(o, a, {0.5, -1.0}), 0);  // right
+  EXPECT_EQ(gm::cross(o, a, {2.0, 0.0}), 0);   // collinear
+}
+
+TEST(Geom, LineDistanceMonotoneInTrueDistance) {
+  gm::point2d a{0, 0}, b{2, 0};
+  EXPECT_GT(gm::line_distance(a, b, {1, 3}), gm::line_distance(a, b, {1, 1}));
+  EXPECT_EQ(gm::line_distance(a, b, {1, 0}), 0);
+}
+
+TEST(Geom, PointsInDiskAreInDisk) {
+  auto pts = gm::points_in_disk(10'000, 1);
+  double max_r2 = 0;
+  for (const auto& p : pts) {
+    double r2 = p.x * p.x + p.y * p.y;
+    ASSERT_LE(r2, 1.0 + 1e-12);
+    max_r2 = std::max(max_r2, r2);
+  }
+  // Uniform on the disk: some points should be near the rim.
+  EXPECT_GT(max_r2, 0.99);
+}
+
+TEST(Geom, PointsInDiskCoverAllQuadrants) {
+  auto pts = gm::points_in_disk(1000, 2);
+  int quad[4] = {};
+  for (const auto& p : pts) quad[(p.x >= 0) * 2 + (p.y >= 0)]++;
+  for (int q : quad) EXPECT_GT(q, 100);
+}
+
+TEST(Geom, BestcutEventsSortedInUnitInterval) {
+  auto ev = gm::bestcut_events(10'000, 3);
+  double prev = -1;
+  std::size_t ends = 0;
+  for (const auto& e : ev) {
+    ASSERT_GE(e.coord, 0.0);
+    ASSERT_LT(e.coord, 1.0);
+    ASSERT_GE(e.coord, prev);  // nondecreasing
+    prev = e.coord;
+    ends += e.is_end;
+  }
+  // Roughly half the events are box-ends.
+  EXPECT_NEAR(static_cast<double>(ends) / 10'000, 0.5, 0.05);
+}
+
+TEST(Geom, SahCostEndpoints) {
+  // Cut at 0 with no boxes left: everything weighted by right extent.
+  EXPECT_EQ(gm::sah_cost(0.0, 0, 100), 100.0);
+  // Cut at 1 with all boxes left.
+  EXPECT_EQ(gm::sah_cost(1.0, 100, 100), 100.0);
+  // Balanced middle cut is cheaper than either extreme.
+  EXPECT_LT(gm::sah_cost(0.5, 50, 100), 100.0);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Unit tests for the graph substrate (CSR building, generators, BFS
+// checker — including that the checker actually rejects bad trees).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace {
+
+namespace g = pbds::graph;
+using g::vertex;
+using pbds::parray;
+
+g::csr_graph tiny_graph() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4; vertex 5 isolated.
+  auto edges = parray<std::pair<vertex, vertex>>::tabulate(
+      5, [](std::size_t e) {
+        constexpr std::pair<vertex, vertex> E[] = {
+            {0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}};
+        return E[e];
+      });
+  return g::from_edges(6, edges);
+}
+
+TEST(Graph, FromEdgesPreservesEdgeMultiset) {
+  auto gr = tiny_graph();
+  EXPECT_EQ(gr.num_vertices(), 6u);
+  EXPECT_EQ(gr.num_edges(), 5u);
+  EXPECT_EQ(gr.degree(0), 2u);
+  EXPECT_EQ(gr.degree(3), 1u);
+  EXPECT_EQ(gr.degree(5), 0u);
+  std::set<vertex> n0(gr.neighbors(0), gr.neighbors(0) + gr.degree(0));
+  EXPECT_EQ(n0, (std::set<vertex>{1, 2}));
+}
+
+TEST(Graph, FromEdgesWithDuplicatesAndSelfLoops) {
+  auto edges = parray<std::pair<vertex, vertex>>::tabulate(
+      4, [](std::size_t e) {
+        constexpr std::pair<vertex, vertex> E[] = {
+            {1, 1}, {1, 2}, {1, 2}, {0, 1}};
+        return E[e];
+      });
+  auto gr = g::from_edges(3, edges);
+  EXPECT_EQ(gr.degree(1), 3u);  // self-loop + duplicate both kept
+  EXPECT_EQ(gr.num_edges(), 4u);
+}
+
+TEST(Graph, ReferenceDistances) {
+  auto gr = tiny_graph();
+  auto dist = g::reference_distances(gr, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[3], 2);
+  EXPECT_EQ(dist[4], 3);
+  EXPECT_EQ(dist[5], -1);  // unreachable
+}
+
+TEST(Graph, CheckerAcceptsValidTree) {
+  auto gr = tiny_graph();
+  std::vector<vertex> parent = {0, 0, 0, 1, 3, g::kNoVertex};
+  EXPECT_TRUE(g::check_bfs_tree(gr, 0, parent));
+  std::vector<vertex> parent2 = {0, 0, 0, 2, 3, g::kNoVertex};  // 3 via 2
+  EXPECT_TRUE(g::check_bfs_tree(gr, 0, parent2));
+}
+
+TEST(Graph, CheckerRejectsWrongDepth) {
+  auto gr = tiny_graph();
+  // Parent of 4 claims to be 0, but there is no edge 0->4.
+  std::vector<vertex> bad = {0, 0, 0, 1, 0, g::kNoVertex};
+  EXPECT_FALSE(g::check_bfs_tree(gr, 0, bad));
+}
+
+TEST(Graph, CheckerRejectsMissingVertex) {
+  auto gr = tiny_graph();
+  std::vector<vertex> bad = {0, 0, 0, 1, g::kNoVertex, g::kNoVertex};
+  EXPECT_FALSE(g::check_bfs_tree(gr, 0, bad));  // 4 reachable but unvisited
+}
+
+TEST(Graph, CheckerRejectsExtraVertex) {
+  auto gr = tiny_graph();
+  std::vector<vertex> bad = {0, 0, 0, 1, 3, 3};  // 5 is unreachable
+  EXPECT_FALSE(g::check_bfs_tree(gr, 0, bad));
+}
+
+TEST(Graph, CheckerRejectsNonEdgeParent) {
+  auto gr = tiny_graph();
+  std::vector<vertex> bad = {0, 0, 0, 0, 3, g::kNoVertex};  // no edge 0->3
+  EXPECT_FALSE(g::check_bfs_tree(gr, 0, bad));
+}
+
+TEST(Graph, RmatShapeAndDeterminism) {
+  auto g1 = g::rmat(10, 10'000, 7);
+  auto g2 = g::rmat(10, 10'000, 7);
+  EXPECT_EQ(g1.num_vertices(), 1024u);
+  EXPECT_EQ(g1.num_edges(), 10'000u);
+  EXPECT_EQ(g2.num_edges(), 10'000u);
+  for (vertex v = 0; v < 1024; ++v)
+    ASSERT_EQ(g1.degree(v), g2.degree(v)) << v;
+}
+
+TEST(Graph, RmatIsSkewed) {
+  // Power-law-ish: the top 1% of vertices should hold far more than 1% of
+  // the out-edges.
+  auto gr = g::rmat(12, 100'000, 3);
+  std::vector<std::size_t> deg(gr.num_vertices());
+  for (vertex v = 0; v < gr.num_vertices(); ++v) deg[v] = gr.degree(v);
+  std::sort(deg.rbegin(), deg.rend());
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < gr.num_vertices() / 100; ++i) top += deg[i];
+  EXPECT_GT(top, gr.num_edges() / 5);  // >20% of edges in top 1%
+}
+
+TEST(Graph, UniformGraphDegreesAreBalanced) {
+  auto gr = g::uniform(1000, 100'000, 5);
+  std::size_t dmax = 0;
+  for (vertex v = 0; v < 1000; ++v) dmax = std::max(dmax, gr.degree(v));
+  // mean degree 100; a uniform max should stay well under 3x the mean.
+  EXPECT_LT(dmax, 300u);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Tests for the benchmark harness (argument parsing and the warmup+repeat
+// measurement protocol of Appendix A.7).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "array/parray.hpp"
+#include "bench_common/harness.hpp"
+
+namespace {
+
+namespace bc = pbds::bench_common;
+
+bc::options parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string prog = "prog";
+  argv.push_back(prog.data());
+  for (auto& a : args) argv.push_back(a.data());
+  return bc::options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Harness, Defaults) {
+  auto o = parse({});
+  EXPECT_EQ(o.scale, 1.0);
+  EXPECT_EQ(o.repeat, 3);
+  EXPECT_EQ(o.warmup, 0.25);
+  EXPECT_TRUE(o.procs.empty());
+}
+
+TEST(Harness, ParsesFlags) {
+  auto o = parse({"--scale", "0.5", "--repeat", "7", "--warmup", "1.5"});
+  EXPECT_EQ(o.scale, 0.5);
+  EXPECT_EQ(o.repeat, 7);
+  EXPECT_EQ(o.warmup, 1.5);
+}
+
+TEST(Harness, ParsesProcsList) {
+  auto o = parse({"--procs", "1,2,8,72"});
+  EXPECT_EQ(o.procs, (std::vector<unsigned>{1, 2, 8, 72}));
+}
+
+TEST(Harness, ScaledSizes) {
+  auto o = parse({"--scale", "0.25"});
+  EXPECT_EQ(o.scaled(1000), 250u);
+  EXPECT_EQ(o.scaled(1), 1u);  // never drops to zero
+  auto o2 = parse({"--scale", "2"});
+  EXPECT_EQ(o2.scaled(1000), 2000u);
+}
+
+TEST(Harness, MeasureRunsWarmupThenRepeats) {
+  std::atomic<int> calls{0};
+  bc::options opt;
+  opt.repeat = 5;
+  opt.warmup = 0.0;  // deadline passes after the mandatory first run
+  auto m = bc::measure([&] { calls++; }, opt);
+  // at least 1 warmup run + exactly 5 timed runs
+  EXPECT_GE(calls.load(), 6);
+  EXPECT_GE(m.seconds, 0.0);
+}
+
+TEST(Harness, MeasureReportsAllocationsPerRun) {
+  bc::options opt;
+  opt.repeat = 4;
+  opt.warmup = 0.0;
+  auto m = bc::measure(
+      [] {
+        auto a = pbds::parray<char>::filled(1 << 12, 'x');
+        bc::do_not_optimize(a.data());
+      },
+      opt);
+  EXPECT_EQ(m.allocated_bytes, 1 << 12);  // per-run average
+  EXPECT_GE(m.peak_bytes, 1 << 12);
+}
+
+TEST(Harness, RatioAndMb) {
+  EXPECT_EQ(bc::ratio(10.0, 4.0), 2.5);
+  EXPECT_EQ(bc::ratio(10.0, 0.0), 0.0);
+  EXPECT_EQ(bc::mb(1024 * 1024), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Edge-case tests for the benchmark kernels: degenerate inputs that the
+// randomized sweeps are unlikely to hit.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchmarks/bestcut.hpp"
+#include "benchmarks/bfs.hpp"
+#include "benchmarks/grep.hpp"
+#include "benchmarks/mcss.hpp"
+#include "benchmarks/policies.hpp"
+#include "benchmarks/quickhull.hpp"
+#include "benchmarks/tokens.hpp"
+#include "benchmarks/wc.hpp"
+#include "core/block.hpp"
+
+namespace {
+
+using namespace pbds;         // NOLINT
+using namespace pbds::bench;  // NOLINT
+
+parray<char> from_string(const std::string& s) {
+  return parray<char>::tabulate(s.size(),
+                                [&](std::size_t i) { return s[i]; });
+}
+
+// --- bfs ------------------------------------------------------------------
+
+TEST(KernelEdges, BfsSingleVertexNoEdges) {
+  auto g = graph::from_edges(
+      1, parray<std::pair<graph::vertex, graph::vertex>>());
+  auto p = bfs<delay_policy>(g, 0);
+  EXPECT_EQ(p[0].load(), 0u);  // source parents itself
+}
+
+TEST(KernelEdges, BfsDisconnectedComponentsStayUnvisited) {
+  auto edges = parray<std::pair<graph::vertex, graph::vertex>>::tabulate(
+      1, [](std::size_t) {
+        return std::pair<graph::vertex, graph::vertex>(0, 1);
+      });
+  auto g = graph::from_edges(4, edges);
+  auto p = bfs<delay_policy>(g, 0);
+  EXPECT_EQ(p[1].load(), 0u);
+  EXPECT_EQ(p[2].load(), graph::kNoVertex);
+  EXPECT_EQ(p[3].load(), graph::kNoVertex);
+}
+
+TEST(KernelEdges, BfsSelfLoopAtSource) {
+  auto edges = parray<std::pair<graph::vertex, graph::vertex>>::tabulate(
+      2, [](std::size_t e) {
+        return e == 0 ? std::pair<graph::vertex, graph::vertex>(0, 0)
+                      : std::pair<graph::vertex, graph::vertex>(0, 1);
+      });
+  auto g = graph::from_edges(2, edges);
+  auto p = bfs<delay_policy>(g, 0);
+  EXPECT_TRUE(graph::check_bfs_tree(g, 0, [&](std::size_t v) {
+    return p[v].load(std::memory_order_relaxed);
+  }));
+}
+
+TEST(KernelEdges, BfsLongChainManyRounds) {
+  // A path graph: one frontier vertex per round, D rounds.
+  std::size_t n = 200;
+  auto edges = parray<std::pair<graph::vertex, graph::vertex>>::tabulate(
+      n - 1, [](std::size_t e) {
+        return std::pair<graph::vertex, graph::vertex>(
+            static_cast<graph::vertex>(e), static_cast<graph::vertex>(e + 1));
+      });
+  auto g = graph::from_edges(n, edges);
+  auto p = bfs<delay_policy>(g, 0);
+  for (std::size_t v = 1; v < n; ++v)
+    ASSERT_EQ(p[v].load(), static_cast<graph::vertex>(v - 1)) << v;
+}
+
+// --- mcss -----------------------------------------------------------------
+
+TEST(KernelEdges, McssAllNegativePicksLeastNegative) {
+  auto a = parray<std::int64_t>::tabulate(10, [](std::size_t i) {
+    return -static_cast<std::int64_t>(i + 2);
+  });
+  EXPECT_EQ(mcss<delay_policy>(a), -2);
+  EXPECT_EQ(mcss<array_policy>(a), -2);
+}
+
+TEST(KernelEdges, McssSingleElement) {
+  auto a = parray<std::int64_t>::filled(1, -7);
+  EXPECT_EQ(mcss<delay_policy>(a), -7);
+}
+
+TEST(KernelEdges, McssWholeArrayWhenAllPositive) {
+  auto a = parray<std::int64_t>::filled(100, 3);
+  EXPECT_EQ(mcss<delay_policy>(a), 300);
+}
+
+// --- tokens / wc ------------------------------------------------------------
+
+TEST(KernelEdges, TokensDegenerateStrings) {
+  scoped_block_size guard(4);
+  for (const char* s : {"", " ", "       ", "x", "  x", "x  ", "a b", "ab"}) {
+    auto t = from_string(s);
+    auto want = tokens_reference(t);
+    EXPECT_EQ(tokens<delay_policy>(t), want) << "s='" << s << "'";
+    EXPECT_EQ(tokens<array_policy>(t), want) << "s='" << s << "'";
+  }
+}
+
+TEST(KernelEdges, WcMatchesUnixSemantics) {
+  scoped_block_size guard(4);
+  for (const char* s :
+       {"", "\n", "word", "word\n", "two words\n", " \t\n ", "a\nb\nc"}) {
+    auto t = from_string(s);
+    auto want = text::reference_wc(t);
+    EXPECT_EQ(wc<delay_policy>(t), want) << "s='" << s << "'";
+  }
+}
+
+// --- grep -----------------------------------------------------------------
+
+TEST(KernelEdges, GrepEmptyPatternMatchesEveryLine) {
+  scoped_block_size guard(4);
+  auto t = from_string("aa\nbb\ncc\n");
+  auto got = grep<delay_policy>(t, "");
+  EXPECT_EQ(got.matching_lines, 3u);
+}
+
+TEST(KernelEdges, GrepPatternLongerThanLines) {
+  auto t = from_string("ab\ncd\n");
+  EXPECT_EQ(grep<delay_policy>(t, "abcdef").matching_lines, 0u);
+}
+
+TEST(KernelEdges, GrepPatternSpansNewlineNeverMatches) {
+  // "b\nc" exists in the text but lines are searched independently...
+  // except a line INCLUDES its trailing newline, so "b\n" does match
+  // line 0 while "\nc" and "b\nc" (crossing into line 1) do not.
+  auto t = from_string("ab\ncd\n");
+  EXPECT_EQ(grep<delay_policy>(t, "b\n").matching_lines, 1u);
+  EXPECT_EQ(grep<delay_policy>(t, "b\nc").matching_lines, 0u);
+}
+
+TEST(KernelEdges, GrepNoTrailingNewline) {
+  auto t = from_string("xx\nyy");
+  auto want = grep_reference(t, "y");
+  EXPECT_EQ(grep<delay_policy>(t, "y"), want);
+  EXPECT_EQ(want.matching_lines, 1u);
+}
+
+// --- bestcut ----------------------------------------------------------------
+
+TEST(KernelEdges, BestcutAllEndsAndNoEnds) {
+  scoped_block_size guard(3);
+  for (int flag : {0, 1}) {
+    auto ev = parray<geom::axis_event>::tabulate(10, [flag](std::size_t i) {
+      return geom::axis_event{0.1 * static_cast<double>(i),
+                              static_cast<std::uint8_t>(flag)};
+    });
+    double want = bestcut_reference(ev);
+    EXPECT_DOUBLE_EQ(bestcut<delay_policy>(ev), want) << flag;
+    EXPECT_DOUBLE_EQ(bestcut<array_policy>(ev), want) << flag;
+  }
+}
+
+TEST(KernelEdges, BestcutSingleEvent) {
+  auto ev = parray<geom::axis_event>::tabulate(1, [](std::size_t) {
+    return geom::axis_event{0.5, 1};
+  });
+  EXPECT_DOUBLE_EQ(bestcut<delay_policy>(ev), bestcut_reference(ev));
+}
+
+// --- quickhull ----------------------------------------------------------------
+
+TEST(KernelEdges, QuickhullTriangle) {
+  auto pts = parray<geom::point2d>::tabulate(3, [](std::size_t i) {
+    constexpr geom::point2d P[] = {{0, 0}, {1, 0}, {0.5, 1}};
+    return P[i];
+  });
+  EXPECT_EQ(quickhull<delay_policy>(pts), 3u);
+}
+
+TEST(KernelEdges, QuickhullSquareWithInteriorPoints) {
+  auto pts = parray<geom::point2d>::tabulate(7, [](std::size_t i) {
+    constexpr geom::point2d P[] = {{0, 0},      {4, 0},     {4, 4}, {0, 4},
+                                   {2.0, 2.0},  {1.0, 3.0}, {3.1, 0.9}};
+    return P[i];
+  });
+  EXPECT_EQ(quickhull<delay_policy>(pts), 4u);
+  EXPECT_EQ(quickhull<array_policy>(pts), 4u);
+  EXPECT_EQ(quickhull<rad_policy>(pts), 4u);
+}
+
+TEST(KernelEdges, QuickhullTinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u}) {
+    auto pts = geom::points_in_disk(n, 1);
+    EXPECT_EQ(quickhull<delay_policy>(pts), n);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for the allocation accounting (pbds::memory) — the substrate
+// behind every "space" number in the evaluation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "array/parray.hpp"
+#include "memory/counting_allocator.hpp"
+#include "memory/tracking.hpp"
+
+namespace {
+
+namespace mem = pbds::memory;
+
+TEST(Memory, AllocFreeBalance) {
+  std::int64_t live0 = mem::bytes_live();
+  mem::note_alloc(1234);
+  EXPECT_EQ(mem::bytes_live(), live0 + 1234);
+  mem::note_free(1234);
+  EXPECT_EQ(mem::bytes_live(), live0);
+}
+
+TEST(Memory, PeakTracksHighWaterMark) {
+  mem::reset_peak();
+  std::int64_t base = mem::bytes_peak();
+  mem::note_alloc(1000);
+  mem::note_alloc(2000);
+  mem::note_free(1000);
+  mem::note_alloc(500);
+  EXPECT_EQ(mem::bytes_peak(), base + 3000);
+  mem::note_free(2000);
+  mem::note_free(500);
+  EXPECT_EQ(mem::bytes_peak(), base + 3000);  // peak is sticky
+  mem::reset_peak();
+  EXPECT_EQ(mem::bytes_peak(), mem::bytes_live());
+}
+
+TEST(Memory, TotalIsCumulative) {
+  std::int64_t t0 = mem::bytes_total();
+  mem::note_alloc(100);
+  mem::note_free(100);
+  mem::note_alloc(100);
+  mem::note_free(100);
+  EXPECT_EQ(mem::bytes_total(), t0 + 200);
+}
+
+TEST(Memory, SpaceMeterMeasuresRegion) {
+  // Allocate before the meter: counts toward peak (max residency includes
+  // pre-existing buffers) but not toward allocated_bytes.
+  auto pre = pbds::parray<char>::filled(1 << 10, 'x');
+  mem::space_meter meter;
+  {
+    auto tmp = pbds::parray<char>::filled(1 << 14, 'y');
+    EXPECT_GE(meter.peak_delta_bytes(), 1 << 14);
+  }
+  EXPECT_GE(meter.peak_bytes(), (1 << 10) + (1 << 14));
+  EXPECT_EQ(meter.allocated_bytes(), 1 << 14);
+  EXPECT_EQ(meter.alloc_count(), 1);
+}
+
+TEST(Memory, SpaceMeterResetsPeak) {
+  {
+    auto big = pbds::parray<char>::filled(1 << 16, 'z');
+  }  // peak now includes a freed 64 KiB buffer
+  mem::space_meter meter;  // resets the high-water mark
+  EXPECT_EQ(meter.peak_bytes(), mem::bytes_live());
+}
+
+TEST(Memory, CountingAllocatorRoutesThroughCounters) {
+  std::int64_t live0 = mem::bytes_live();
+  {
+    mem::tracked_vector<std::int64_t> v;
+    for (int i = 0; i < 1000; ++i) v.push_back(i);
+    EXPECT_GE(mem::bytes_live() - live0,
+              static_cast<std::int64_t>(1000 * sizeof(std::int64_t)));
+  }
+  EXPECT_EQ(mem::bytes_live(), live0);
+}
+
+TEST(Memory, CountingAllocatorEquality) {
+  mem::counting_allocator<int> a;
+  mem::counting_allocator<double> b;
+  EXPECT_TRUE(a == mem::counting_allocator<int>(b));
+}
+
+}  // namespace

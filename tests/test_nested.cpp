@@ -1,0 +1,126 @@
+// Nested parallelism: delayed pipelines inside delayed pipelines — outer
+// tabulates whose element functions themselves run reduces, scans and
+// filters. The paper: "Many of the benchmarks utilize nested parallelism,
+// which our libraries support seamlessly."
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+#include "core/delayed_extras.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+class NestedTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  scoped_block_size guard_{GetParam()};
+};
+
+// Outer map over rows; inner reduce per row (the spmv shape, distilled).
+template <typename P>
+std::vector<std::int64_t> row_sums(std::size_t rows, std::size_t cols) {
+  auto out = P::to_array(P::tabulate(rows, [cols](std::size_t r) {
+    return P::reduce(
+        [](std::int64_t a, std::int64_t b) { return a + b; },
+        std::int64_t{0},
+        P::map(
+            [r](std::size_t c) {
+              return static_cast<std::int64_t>((r * 31 + c * 7) % 100);
+            },
+            P::iota(cols)));
+  }));
+  return {out.begin(), out.end()};
+}
+
+TEST_P(NestedTest, InnerReducePerOuterElement) {
+  std::size_t rows = 64, cols = 173;
+  std::vector<std::int64_t> want(rows, 0);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      want[r] += static_cast<std::int64_t>((r * 31 + c * 7) % 100);
+  EXPECT_EQ(row_sums<array_policy>(rows, cols), want);
+  EXPECT_EQ(row_sums<rad_policy>(rows, cols), want);
+  EXPECT_EQ(row_sums<delay_policy>(rows, cols), want);
+}
+
+// Inner scan inside an outer tabulate: each outer element is the total of
+// an inner exclusive scan — exercises nested BID creation under a running
+// outer parallel loop.
+TEST_P(NestedTest, InnerScanPerOuterElement) {
+  namespace d = pbds::delayed;
+  auto out = d::to_array(d::tabulate(40, [](std::size_t r) {
+    auto [pre, total] = d::scan(
+        [](std::size_t a, std::size_t b) { return a + b; }, std::size_t{0},
+        d::tabulate(r + 1, [](std::size_t c) { return c; }));
+    // consume pre too, to run the delayed phase 3 concurrently
+    auto last = d::reduce(
+        [](std::size_t a, std::size_t b) { return a > b ? a : b; },
+        std::size_t{0}, pre);
+    return total + last;
+  }));
+  for (std::size_t r = 0; r < 40; ++r) {
+    std::size_t total = r * (r + 1) / 2;
+    std::size_t last_pre = r == 0 ? 0 : (r - 1) * r / 2;
+    ASSERT_EQ(out[r], total + last_pre) << r;
+  }
+}
+
+// Inner filters inside an outer flatten: nested ragged structure built and
+// consumed entirely delayed.
+TEST_P(NestedTest, FilterInsideFlatten) {
+  namespace d = pbds::delayed;
+  auto nested = d::map(
+      [](std::size_t r) {
+        // Inner: the even numbers below r, forced to random access for
+        // flatten.
+        return d::force(
+            d::filter([](std::size_t x) { return x % 2 == 0; }, d::iota(r)));
+      },
+      d::iota(8));
+  auto flat = d::flatten(nested);
+  std::vector<std::size_t> want;
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t x = 0; x < r; x += 2) want.push_back(x);
+  auto arr = d::to_array(flat);
+  ASSERT_EQ(arr.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(arr[i], want[i]) << i;
+}
+
+// Three levels: outer tabulate -> middle flatten -> inner reduce.
+TEST_P(NestedTest, ThreeLevels) {
+  namespace d = pbds::delayed;
+  auto result = d::reduce(
+      [](std::size_t a, std::size_t b) { return a + b; }, std::size_t{0},
+      d::map(
+          [](std::size_t outer) {
+            auto middle = d::flat_map(
+                [outer](std::size_t m) {
+                  return d::tabulate(m % 3, [outer, m](std::size_t i) {
+                    return outer + m + i;
+                  });
+                },
+                d::iota(6));
+            return d::reduce(
+                [](std::size_t a, std::size_t b) { return a + b; },
+                std::size_t{0}, middle);
+          },
+          d::iota(5)));
+  std::size_t want = 0;
+  for (std::size_t outer = 0; outer < 5; ++outer)
+    for (std::size_t m = 0; m < 6; ++m)
+      for (std::size_t i = 0; i < m % 3; ++i) want += outer + m + i;
+  EXPECT_EQ(result, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, NestedTest,
+                         ::testing::Values(2, 64, 2048),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+}  // namespace

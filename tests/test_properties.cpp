@@ -1,0 +1,290 @@
+// Property-based tests: algebraic laws of the sequence operations, checked
+// on randomized inputs across a parameterized sweep of (size, block size)
+// and verified identically against all three libraries and a sequential
+// model built on std::vector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+struct Param {
+  std::size_t n;
+  std::size_t block;
+  std::uint64_t seed;
+};
+
+class PropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    guard_ = std::make_unique<scoped_block_size>(GetParam().block);
+    random::rng gen(GetParam().seed);
+    input_ = parray<std::int64_t>::tabulate(
+        GetParam().n, [&](std::size_t i) {
+          return static_cast<std::int64_t>(gen.below(i, 2001)) - 1000;
+        });
+  }
+
+  std::vector<std::int64_t> model() const {
+    return {input_.begin(), input_.end()};
+  }
+
+  std::unique_ptr<scoped_block_size> guard_;
+  parray<std::int64_t> input_;
+};
+
+auto plus = [](std::int64_t a, std::int64_t b) { return a + b; };
+auto sq = [](std::int64_t x) { return x * x % 997; };
+auto is_pos = [](std::int64_t x) { return x > 0; };
+
+template <typename P, typename Seq>
+std::vector<std::int64_t> drain(Seq&& s) {
+  auto arr = P::to_array(std::forward<Seq>(s));
+  return {arr.begin(), arr.end()};
+}
+
+// --- law: map distributes over the model -------------------------------------
+
+template <typename P>
+void check_map_law(const parray<std::int64_t>& in,
+                   const std::vector<std::int64_t>& model) {
+  auto got = drain<P>(P::map(sq, P::view(in)));
+  std::vector<std::int64_t> want(model.size());
+  std::transform(model.begin(), model.end(), want.begin(), sq);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(PropertyTest, MapMatchesModel) {
+  check_map_law<array_policy>(input_, model());
+  check_map_law<rad_policy>(input_, model());
+  check_map_law<delay_policy>(input_, model());
+}
+
+// --- law: reduce == std::accumulate ------------------------------------------
+
+template <typename P>
+void check_reduce_law(const parray<std::int64_t>& in,
+                      const std::vector<std::int64_t>& model) {
+  EXPECT_EQ(P::reduce(plus, std::int64_t{0}, P::view(in)),
+            std::accumulate(model.begin(), model.end(), std::int64_t{0}));
+}
+
+TEST_P(PropertyTest, ReduceMatchesModel) {
+  check_reduce_law<array_policy>(input_, model());
+  check_reduce_law<rad_policy>(input_, model());
+  check_reduce_law<delay_policy>(input_, model());
+}
+
+// --- law: scan is the prefix of reduce ---------------------------------------
+
+template <typename P>
+void check_scan_law(const parray<std::int64_t>& in,
+                    const std::vector<std::int64_t>& model) {
+  auto [pre, total] = P::scan(plus, std::int64_t{0}, P::view(in));
+  auto got = drain<P>(std::move(pre));
+  std::int64_t acc = 0;
+  ASSERT_EQ(got.size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(got[i], acc) << i;
+    acc += model[i];
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST_P(PropertyTest, ScanIsPrefixSums) {
+  check_scan_law<array_policy>(input_, model());
+  check_scan_law<rad_policy>(input_, model());
+  check_scan_law<delay_policy>(input_, model());
+}
+
+// --- law: scan_inclusive[i] == scan[i] + x[i] ---------------------------------
+
+template <typename P>
+void check_scan_inc_law(const parray<std::int64_t>& in,
+                        const std::vector<std::int64_t>& model) {
+  auto [inc, total] = P::scan_inclusive(plus, std::int64_t{0}, P::view(in));
+  auto got = drain<P>(std::move(inc));
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    acc += model[i];
+    ASSERT_EQ(got[i], acc) << i;
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST_P(PropertyTest, ScanInclusiveMatchesModel) {
+  check_scan_inc_law<array_policy>(input_, model());
+  check_scan_inc_law<rad_policy>(input_, model());
+  check_scan_inc_law<delay_policy>(input_, model());
+}
+
+// --- law: filter preserves order and multiplicity -----------------------------
+
+template <typename P>
+void check_filter_law(const parray<std::int64_t>& in,
+                      const std::vector<std::int64_t>& model) {
+  auto got = drain<P>(P::filter(is_pos, P::view(in)));
+  std::vector<std::int64_t> want;
+  std::copy_if(model.begin(), model.end(), std::back_inserter(want), is_pos);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(PropertyTest, FilterMatchesModel) {
+  check_filter_law<array_policy>(input_, model());
+  check_filter_law<rad_policy>(input_, model());
+  check_filter_law<delay_policy>(input_, model());
+}
+
+// --- law: filter p . filter q == filter (p && q) -------------------------------
+
+template <typename P>
+void check_filter_compose(const parray<std::int64_t>& in) {
+  auto q = [](std::int64_t x) { return x % 2 == 0; };
+  auto both = [q](std::int64_t x) { return is_pos(x) && q(x); };
+  auto two = drain<P>(P::filter(q, P::filter(is_pos, P::view(in))));
+  auto one = drain<P>(P::filter(both, P::view(in)));
+  EXPECT_EQ(two, one);
+}
+
+TEST_P(PropertyTest, FilterComposition) {
+  check_filter_compose<array_policy>(input_);
+  check_filter_compose<rad_policy>(input_);
+  check_filter_compose<delay_policy>(input_);
+}
+
+// --- law: filter_op f == map unwrap . filter engaged . map f -------------------
+
+template <typename P>
+void check_filter_op_law(const parray<std::int64_t>& in,
+                         const std::vector<std::int64_t>& model) {
+  auto f = [](std::int64_t x) -> std::optional<std::int64_t> {
+    if (x % 3 == 0) return x / 3;
+    return std::nullopt;
+  };
+  auto got = drain<P>(P::filter_op(f, P::view(in)));
+  std::vector<std::int64_t> want;
+  for (auto x : model)
+    if (auto r = f(x)) want.push_back(*r);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(PropertyTest, FilterOpMatchesModel) {
+  check_filter_op_law<array_policy>(input_, model());
+  check_filter_op_law<rad_policy>(input_, model());
+  check_filter_op_law<delay_policy>(input_, model());
+}
+
+// --- law: flatten . map singleton == identity ----------------------------------
+
+template <typename P>
+void check_flatten_singleton(const parray<std::int64_t>& in,
+                             const std::vector<std::int64_t>& model) {
+  const std::int64_t* p = in.data();
+  auto nested = P::map(
+      [p](std::size_t i) {
+        return P::tabulate(1, [p, i](std::size_t) { return p[i]; });
+      },
+      P::iota(in.size()));
+  EXPECT_EQ(drain<P>(P::flatten(nested)), model);
+}
+
+TEST_P(PropertyTest, FlattenOfSingletonsIsIdentity) {
+  check_flatten_singleton<array_policy>(input_, model());
+  check_flatten_singleton<rad_policy>(input_, model());
+  check_flatten_singleton<delay_policy>(input_, model());
+}
+
+// --- law: flatten concatenates variable-length inners in order -----------------
+
+template <typename P>
+void check_flatten_law(const parray<std::int64_t>& in,
+                       const std::vector<std::int64_t>& model) {
+  const std::int64_t* p = in.data();
+  auto len = [](std::int64_t x) {
+    return static_cast<std::size_t>(((x % 4) + 4) % 4);
+  };
+  auto nested = P::map(
+      [p, len](std::size_t i) {
+        return P::tabulate(len(p[i]),
+                           [p, i](std::size_t j) {
+                             return p[i] + static_cast<std::int64_t>(j);
+                           });
+      },
+      P::iota(in.size()));
+  auto got = drain<P>(P::flatten(nested));
+  std::vector<std::int64_t> want;
+  for (auto x : model)
+    for (std::size_t j = 0; j < len(x); ++j)
+      want.push_back(x + static_cast<std::int64_t>(j));
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(PropertyTest, FlattenMatchesModel) {
+  check_flatten_law<array_policy>(input_, model());
+  check_flatten_law<rad_policy>(input_, model());
+  check_flatten_law<delay_policy>(input_, model());
+}
+
+// --- law: zip then project == originals ----------------------------------------
+
+template <typename P>
+void check_zip_law(const parray<std::int64_t>& in,
+                   const std::vector<std::int64_t>& model) {
+  auto z = P::zip(P::view(in), P::iota(in.size()));
+  auto firsts = drain<P>(P::map(
+      [](const std::pair<std::int64_t, std::size_t>& p) { return p.first; },
+      z));
+  EXPECT_EQ(firsts, model);
+}
+
+TEST_P(PropertyTest, ZipProjectionRoundTrips) {
+  check_zip_law<array_policy>(input_, model());
+  check_zip_law<rad_policy>(input_, model());
+  check_zip_law<delay_policy>(input_, model());
+}
+
+// --- law: reduce after scan == sum of prefixes (fusion across BID boundary) ----
+
+template <typename P>
+void check_scan_reduce(const parray<std::int64_t>& in,
+                       const std::vector<std::int64_t>& model) {
+  auto [pre, total] = P::scan(plus, std::int64_t{0}, P::view(in));
+  (void)total;
+  std::int64_t got = P::reduce(plus, std::int64_t{0}, pre);
+  std::int64_t want = 0, acc = 0;
+  for (auto x : model) {
+    want += acc;
+    acc += x;
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(PropertyTest, ReduceOfScanMatchesModel) {
+  check_scan_reduce<array_policy>(input_, model());
+  check_scan_reduce<rad_policy>(input_, model());
+  check_scan_reduce<delay_policy>(input_, model());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertyTest,
+    ::testing::Values(Param{0, 4, 1}, Param{1, 4, 2}, Param{2, 1, 3},
+                      Param{17, 1, 4}, Param{64, 16, 5}, Param{65, 16, 6},
+                      Param{255, 16, 7}, Param{256, 16, 8},
+                      Param{1000, 3, 9}, Param{1000, 333, 10},
+                      Param{4096, 2048, 11}, Param{10'000, 1024, 12}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_B" +
+             std::to_string(info.param.block) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Second property battery: non-commutative (but associative) operators —
+// which catch any blocked implementation that reorders combinations — plus
+// slicing laws and cross-checks between the library-level tokens and the
+// benchmark kernel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchmarks/linearrec.hpp"
+#include "benchmarks/policies.hpp"
+#include "benchmarks/tokens.hpp"
+#include "core/block.hpp"
+#include "core/delayed_extras.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+class Prop2Test : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  scoped_block_size guard_{GetParam()};
+};
+
+// --- string concatenation: associative, NOT commutative ------------------------
+
+template <typename P>
+std::string concat_all(std::size_t n) {
+  auto letters = P::map(
+      [](std::size_t i) {
+        return std::string(1, static_cast<char>('a' + (i * 7) % 26));
+      },
+      P::iota(n));
+  return P::reduce(
+      [](const std::string& x, const std::string& y) { return x + y; },
+      std::string{}, letters);
+}
+
+TEST_P(Prop2Test, ReduceStringConcatPreservesOrder) {
+  for (std::size_t n : {0u, 1u, 50u, 333u}) {
+    std::string want;
+    for (std::size_t i = 0; i < n; ++i)
+      want.push_back(static_cast<char>('a' + (i * 7) % 26));
+    EXPECT_EQ(concat_all<array_policy>(n), want) << n;
+    EXPECT_EQ(concat_all<rad_policy>(n), want) << n;
+    EXPECT_EQ(concat_all<delay_policy>(n), want) << n;
+  }
+}
+
+// --- affine composition scan: associative, not commutative ---------------------
+
+template <typename P>
+std::vector<double> affine_scan(const parray<bench::affine>& coefs) {
+  auto [inc, tot] = P::scan_inclusive(
+      [](const bench::affine& p, const bench::affine& q) {
+        return bench::affine_compose(p, q);
+      },
+      bench::affine_identity, P::view(coefs));
+  (void)tot;
+  auto arr = P::to_array(
+      P::map([](const bench::affine& c) { return c.second; }, inc));
+  return {arr.begin(), arr.end()};
+}
+
+TEST_P(Prop2Test, AffineScanOrderSensitive) {
+  auto coefs = bench::linearrec_input(777, GetParam());
+  auto want = bench::linearrec_reference(coefs);
+  auto a = affine_scan<array_policy>(coefs);
+  auto r = affine_scan<rad_policy>(coefs);
+  auto d = affine_scan<delay_policy>(coefs);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(d[i], want[i], 1e-9) << i;
+    ASSERT_EQ(a[i], d[i]) << i;  // identical blocking => identical bits
+    ASSERT_EQ(r[i], d[i]) << i;
+  }
+}
+
+// --- slicing laws ---------------------------------------------------------------
+
+TEST_P(Prop2Test, TakeOfScanEqualsScanPrefix) {
+  namespace d = pbds::delayed;
+  auto t = d::map([](std::size_t i) { return (int)(i % 9); }, d::iota(100));
+  auto [pre, tot] = d::scan([](int a, int b) { return a + b; }, 0, t);
+  (void)tot;
+  auto full = d::to_array(pre);
+  for (std::size_t k : {0u, 1u, 17u, 99u, 100u}) {
+    auto front = d::to_array(d::take(pre, k));
+    ASSERT_EQ(front.size(), k);
+    for (std::size_t i = 0; i < k; ++i) ASSERT_EQ(front[i], full[i]) << i;
+  }
+}
+
+TEST_P(Prop2Test, EnumerateThenUnzipRoundTrips) {
+  namespace d = pbds::delayed;
+  auto t = d::map([](std::size_t i) { return (int)(i * 5 + 1); },
+                  d::iota(64));
+  auto [idx, vals] = d::unzip(d::enumerate(t));
+  EXPECT_TRUE(d::equal(idx, d::iota(64)));
+  EXPECT_TRUE(d::equal(vals, t));
+}
+
+TEST_P(Prop2Test, ReverseOfReverseIsIdentity) {
+  namespace d = pbds::delayed;
+  auto t = d::map([](std::size_t i) { return (int)((i * 31) % 97); },
+                  d::iota(123));
+  EXPECT_TRUE(d::equal(d::reverse(d::reverse(t)), t));
+}
+
+// --- library tokens vs the benchmark kernel -------------------------------------
+
+TEST_P(Prop2Test, LibraryTokensMatchesKernelCounts) {
+  namespace d = pbds::delayed;
+  auto corpus = text::random_words(5'000, 6.0, GetParam() + 99);
+  auto kernel = bench::tokens_reference(corpus);
+  auto lib = d::tokens(corpus);
+  EXPECT_EQ(d::length(lib), kernel.count);
+  auto total_len = d::reduce(
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      std::uint64_t{0},
+      d::map(
+          [](const std::pair<std::size_t, std::size_t>& w) {
+            return static_cast<std::uint64_t>(w.second);
+          },
+          lib));
+  EXPECT_EQ(total_len, kernel.total_len);
+}
+
+// --- histogram law: bucket sums == element count ---------------------------------
+
+TEST_P(Prop2Test, HistogramTotalsMatch) {
+  namespace d = pbds::delayed;
+  random::rng gen(GetParam());
+  auto a = parray<std::size_t>::tabulate(
+      2'000, [&](std::size_t i) { return gen.below(i, 40); });
+  auto h = d::histogram(d::view(a), 40, [](std::size_t v) { return v; });
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 2'000u);
+  // Spot-check one bucket against a direct count.
+  std::size_t direct = 0;
+  for (auto v : a) direct += v == 7;
+  EXPECT_EQ(h[7], direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, Prop2Test,
+                         ::testing::Values(1, 5, 64, 2048),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+}  // namespace

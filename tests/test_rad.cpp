@@ -1,0 +1,158 @@
+// Unit tests for the RAD-only library (the `rad` baseline): same index
+// fusion for the delayed ops, but scan/filter/flatten materialize outputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/block.hpp"
+#include "rad/rad_ops.hpp"
+
+namespace {
+
+namespace r = pbds::radlib;
+using pbds::parray;
+using pbds::scoped_block_size;
+
+auto plus = [](auto a, auto b) { return a + b; };
+
+template <typename Seq>
+auto collect(const Seq& s) {
+  auto arr = r::to_array(s);
+  return std::vector<typename decltype(arr)::value_type>(arr.begin(),
+                                                         arr.end());
+}
+
+TEST(RadLib, TabulateMapAreLazy) {
+  std::atomic<int> calls{0};
+  auto t = r::tabulate(100, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto m = r::map([](int x) { return x + 5; }, t);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(m[3], 8);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(RadLib, ZipIsRandomAccess) {
+  auto z = r::zip(r::iota(5), r::map([](std::size_t i) { return 2 * i; },
+                                     r::iota(5)));
+  EXPECT_EQ(z[4], (std::pair<std::size_t, std::size_t>(4, 8)));
+}
+
+TEST(RadLib, ReduceMatchesFold) {
+  scoped_block_size guard(3);
+  EXPECT_EQ(r::reduce(plus, 0, r::tabulate(10, [](std::size_t i) {
+                        return (int)i;
+                      })),
+            45);
+}
+
+TEST(RadLib, ScanMaterializesOutput) {
+  scoped_block_size guard(3);
+  std::atomic<int> calls{0};
+  auto t = r::tabulate(10, [&calls](std::size_t i) {
+    calls++;
+    return (int)i + 1;
+  });
+  auto [pre, total] = r::scan(plus, 0, t);
+  EXPECT_EQ(total, 55);
+  // Phase 1 + phase 3 both read the (fused) input: 2n evaluations.
+  EXPECT_EQ(calls.load(), 20);
+  // But the output is an array-backed RAD: consuming it re-reads the
+  // ARRAY, not the input function.
+  EXPECT_EQ(collect(pre),
+            (std::vector<int>{0, 1, 3, 6, 10, 15, 21, 28, 36, 45}));
+  EXPECT_EQ(calls.load(), 20);
+}
+
+TEST(RadLib, ScanAllocatesLinearOutput) {
+  // The R baseline's defining cost: scan output is O(n) allocation.
+  scoped_block_size guard(64);
+  std::size_t n = 1 << 14;
+  pbds::memory::space_meter meter;
+  auto [pre, total] = r::scan(plus, std::int64_t{0},
+                              r::tabulate(n, [](std::size_t i) {
+                                return (std::int64_t)i;
+                              }));
+  (void)total;
+  EXPECT_GE(meter.allocated_bytes(),
+            static_cast<std::int64_t>(n * sizeof(std::int64_t)));
+}
+
+TEST(RadLib, ScanInclusive) {
+  scoped_block_size guard(4);
+  auto [inc, total] =
+      r::scan_inclusive(plus, 0, r::tabulate(6, [](std::size_t i) {
+                          return (int)i + 1;
+                        }));
+  EXPECT_EQ(total, 21);
+  EXPECT_EQ(collect(inc), (std::vector<int>{1, 3, 6, 10, 15, 21}));
+}
+
+TEST(RadLib, FilterReturnsContiguousArray) {
+  scoped_block_size guard(4);
+  auto f = r::filter([](int x) { return x % 2 == 0; },
+                     r::tabulate(11, [](std::size_t i) { return (int)i; }));
+  static_assert(std::is_same_v<decltype(f), parray<int>>);
+  EXPECT_EQ(std::vector<int>(f.begin(), f.end()),
+            (std::vector<int>{0, 2, 4, 6, 8, 10}));
+}
+
+TEST(RadLib, FilterOp) {
+  scoped_block_size guard(3);
+  auto f = r::filter_op(
+      [](int x) -> std::optional<int> {
+        if (x > 5) return x * 10;
+        return std::nullopt;
+      },
+      r::tabulate(9, [](std::size_t i) { return (int)i; }));
+  EXPECT_EQ(std::vector<int>(f.begin(), f.end()),
+            (std::vector<int>{60, 70, 80}));
+}
+
+TEST(RadLib, FlattenMaterializes) {
+  scoped_block_size guard(2);
+  auto nested = r::map(
+      [](std::size_t i) {
+        return r::tabulate(i % 3, [i](std::size_t j) { return i * 10 + j; });
+      },
+      r::iota(5));
+  auto flat = r::flatten(nested);
+  EXPECT_EQ(std::vector<std::size_t>(flat.begin(), flat.end()),
+            (std::vector<std::size_t>{10, 20, 21, 40}));
+}
+
+TEST(RadLib, ForceAvoidsReevaluation) {
+  std::atomic<int> calls{0};
+  auto t = r::tabulate(10, [&calls](std::size_t i) {
+    calls++;
+    return (int)i;
+  });
+  auto f = r::force(t);
+  EXPECT_EQ(calls.load(), 10);
+  EXPECT_EQ(r::reduce(plus, 0, f), 45);
+  EXPECT_EQ(r::reduce(plus, 0, f), 45);
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(RadLib, ApplyEach) {
+  std::vector<std::atomic<int>> hits(50);
+  r::apply_each(r::iota(50), [&hits](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RadLib, ToArrayOverloadsMoveAndClone) {
+  auto a = parray<int>::filled(5, 7);
+  const int* p = a.data();
+  auto moved = r::to_array(std::move(a));
+  EXPECT_EQ(moved.data(), p);  // moved, not copied
+  auto cloned = r::to_array(moved);
+  EXPECT_NE(cloned.data(), p);  // lvalue => deep copy
+  EXPECT_EQ(cloned[4], 7);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Tests for the 3D geometry substrate and the raycast workload.
+#include <gtest/gtest.h>
+
+#include "benchmarks/policies.hpp"
+#include "benchmarks/raycast.hpp"
+#include "core/block.hpp"
+
+namespace {
+
+using namespace pbds;         // NOLINT
+using namespace pbds::bench;  // NOLINT
+using geom::ray;
+using geom::triangle;
+using geom::vec3;
+
+TEST(Geom3d, VectorOps) {
+  vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(dot(a, b), 32.0);
+  auto c = geom::cross3(a, b);
+  EXPECT_EQ(c.x, -3.0);
+  EXPECT_EQ(c.y, 6.0);
+  EXPECT_EQ(c.z, -3.0);
+  EXPECT_EQ(dot(c, a), 0.0);  // orthogonal to both
+  EXPECT_EQ(dot(c, b), 0.0);
+}
+
+TEST(Geom3d, IntersectHitsUnitTriangle) {
+  triangle t{vec3{0, 0, 1}, vec3{1, 0, 1}, vec3{0, 1, 1}};
+  ray r{vec3{0.2, 0.2, 0}, vec3{0, 0, 1}};
+  auto hit = geom::intersect(r, t);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 1.0);
+}
+
+TEST(Geom3d, IntersectMisses) {
+  triangle t{vec3{0, 0, 1}, vec3{1, 0, 1}, vec3{0, 1, 1}};
+  // Outside the triangle.
+  EXPECT_FALSE(geom::intersect(ray{vec3{0.9, 0.9, 0}, vec3{0, 0, 1}}, t));
+  // Pointing away.
+  EXPECT_FALSE(geom::intersect(ray{vec3{0.2, 0.2, 0}, vec3{0, 0, -1}}, t));
+  // Parallel to the plane.
+  EXPECT_FALSE(geom::intersect(ray{vec3{0.2, 0.2, 0}, vec3{1, 0, 0}}, t));
+}
+
+TEST(Geom3d, IntersectBarycentricEdges) {
+  triangle t{vec3{0, 0, 1}, vec3{1, 0, 1}, vec3{0, 1, 1}};
+  // Near the a-vertex, inside.
+  EXPECT_TRUE(geom::intersect(ray{vec3{0.01, 0.01, 0}, vec3{0, 0, 1}}, t));
+  // Just across the hypotenuse u+v>1.
+  EXPECT_FALSE(geom::intersect(ray{vec3{0.51, 0.51, 0}, vec3{0, 0, 1}}, t));
+}
+
+class RaycastTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  scoped_block_size guard_{GetParam()};
+};
+
+TEST_P(RaycastTest, AllLibrariesMatchReference) {
+  auto tris = geom::random_triangles(400);
+  auto rays = geom::random_rays(300);
+  auto want = raycast_reference(rays, tris);
+  auto ra = raycast<array_policy>(rays, tris);
+  auto rr = raycast<rad_policy>(rays, tris);
+  auto rd = raycast<delay_policy>(rays, tris);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(ra[i], want[i]) << i;
+    ASSERT_EQ(rr[i], want[i]) << i;
+    ASSERT_EQ(rd[i], want[i]) << i;
+    hits += want[i] != kNoHit;
+  }
+  EXPECT_GT(hits, 0u);  // the scene is set up so some rays hit
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, RaycastTest,
+                         ::testing::Values(16, 2048),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+TEST(Raycast, DelayAvoidsPerRayAllocation) {
+  scoped_block_size guard(2048);
+  auto tris = geom::random_triangles(2048);  // exactly one block per ray
+  auto rays = geom::random_rays(500);
+  memory::space_meter ma;
+  { auto r = raycast<array_policy>(rays, tris); }
+  auto array_bytes = ma.allocated_bytes();
+  memory::space_meter md;
+  { auto r = raycast<delay_policy>(rays, tris); }
+  auto delay_bytes = md.allocated_bytes();
+  // array allocates an nt-sized hits buffer per ray; delay only the output.
+  EXPECT_GT(array_bytes, 100 * delay_bytes);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Unit tests for getRegion (region_stream / region_bid): the delayed
+// binary-search-and-walk machinery behind filter and flatten outputs
+// (Fig. 10 lines 41-43, Fig. 3).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "array/array_ops.hpp"
+#include "core/region.hpp"
+
+namespace {
+
+using pbds::parray;
+using pbds::region_bid;
+using pbds::region_stream;
+
+// Build pieces from a vector-of-vectors.
+std::shared_ptr<parray<parray<int>>> make_pieces(
+    const std::vector<std::vector<int>>& vs) {
+  return std::make_shared<parray<parray<int>>>(
+      parray<parray<int>>::tabulate(vs.size(), [&](std::size_t k) {
+        return parray<int>::tabulate(
+            vs[k].size(), [&, k](std::size_t j) { return vs[k][j]; });
+      }));
+}
+
+std::shared_ptr<parray<std::size_t>> offsets_of(
+    const std::vector<std::vector<int>>& vs) {
+  auto [off, total] = pbds::array_ops::size_offsets(
+      vs.size(), [&](std::size_t k) { return vs[k].size(); });
+  (void)total;
+  return std::make_shared<parray<std::size_t>>(std::move(off));
+}
+
+std::vector<int> drain_bid_block(const auto& bid, std::size_t j) {
+  auto s = bid.block(j);
+  std::vector<int> out;
+  for (std::size_t k = 0; k < bid.block_length(j); ++k)
+    out.push_back(s.next());
+  return out;
+}
+
+std::vector<int> drain_all(const auto& bid) {
+  std::vector<int> out;
+  for (std::size_t j = 0; j < bid.num_blocks(); ++j) {
+    auto b = drain_bid_block(bid, j);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+TEST(Region, StreamWalksAcrossPieces) {
+  auto pieces = make_pieces({{1, 2}, {3}, {4, 5, 6}});
+  region_stream<parray<parray<int>>> s{pieces.get(), 0, 0};
+  std::vector<int> out;
+  for (int i = 0; i < 6; ++i) out.push_back(s.next());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Region, StreamSkipsEmptyPieces) {
+  auto pieces = make_pieces({{}, {1}, {}, {}, {2, 3}, {}});
+  region_stream<parray<parray<int>>> s{pieces.get(), 0, 0};
+  std::vector<int> out;
+  for (int i = 0; i < 3; ++i) out.push_back(s.next());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Region, StreamStartsMidPiece) {
+  auto pieces = make_pieces({{1, 2, 3, 4}});
+  region_stream<parray<parray<int>>> s{pieces.get(), 0, 2};
+  EXPECT_EQ(s.next(), 3);
+  EXPECT_EQ(s.next(), 4);
+}
+
+TEST(Region, BidBlocksPartitionConcatenation) {
+  std::vector<std::vector<int>> vs = {{0, 1}, {}, {2, 3, 4, 5}, {6}, {}, {7, 8}};
+  for (std::size_t blk : {1u, 2u, 3u, 4u, 9u, 100u}) {
+    auto bid = region_bid(make_pieces(vs), offsets_of(vs), 9, blk);
+    EXPECT_EQ(bid.size(), 9u);
+    EXPECT_EQ(drain_all(bid), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}))
+        << "blk=" << blk;
+  }
+}
+
+TEST(Region, BidBlockStartsOnTieRunOfEmptyPieces) {
+  // Offsets with ties: block boundary lands exactly where several empty
+  // pieces share the same offset. upper_bound must pick the last piece
+  // with offset <= start so `inner` is in range.
+  std::vector<std::vector<int>> vs = {{10, 11}, {}, {}, {12, 13}};
+  auto bid = region_bid(make_pieces(vs), offsets_of(vs), 4, 2);
+  EXPECT_EQ(drain_bid_block(bid, 0), (std::vector<int>{10, 11}));
+  EXPECT_EQ(drain_bid_block(bid, 1), (std::vector<int>{12, 13}));
+}
+
+TEST(Region, BidBlocksAreIndependentlyRestartable) {
+  // Block functions are pure: demanding block 1 twice, or out of order,
+  // gives the same elements.
+  std::vector<std::vector<int>> vs = {{1, 2, 3}, {4, 5}, {6, 7, 8, 9}};
+  auto bid = region_bid(make_pieces(vs), offsets_of(vs), 9, 4);
+  auto b1a = drain_bid_block(bid, 1);
+  auto b0 = drain_bid_block(bid, 0);
+  auto b1b = drain_bid_block(bid, 1);
+  EXPECT_EQ(b1a, b1b);
+  EXPECT_EQ(b0, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(b1a, (std::vector<int>{5, 6, 7, 8}));
+}
+
+TEST(Region, EmptyRegionHasNoBlocks) {
+  std::vector<std::vector<int>> vs = {{}, {}};
+  auto bid = region_bid(make_pieces(vs), offsets_of(vs), 0, 4);
+  EXPECT_EQ(bid.num_blocks(), 0u);
+  EXPECT_EQ(bid.size(), 0u);
+}
+
+TEST(Region, SharedOwnershipKeepsPiecesAlive) {
+  auto bid = [] {
+    std::vector<std::vector<int>> vs = {{42, 43}};
+    return region_bid(make_pieces(vs), offsets_of(vs), 2, 8);
+  }();  // the shared_ptrs inside the block function keep the data alive
+  EXPECT_EQ(drain_all(bid), (std::vector<int>{42, 43}));
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Unit tests for the counter-based RNG substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "random/rng.hpp"
+
+namespace {
+
+using pbds::random::hash64;
+using pbds::random::rng;
+
+TEST(Rng, Hash64IsDeterministic) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  EXPECT_NE(hash64(42), hash64(43));
+}
+
+TEST(Rng, Hash64SpreadsLowBits) {
+  // Consecutive inputs should produce well-spread outputs.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) seen.insert(hash64(i) & 0xffff);
+  // With 10k draws into 65536 buckets, expect a large fraction distinct.
+  EXPECT_GT(seen.size(), 8'000u);
+}
+
+TEST(Rng, DrawsAreDeterministicPerIndex) {
+  rng g(7);
+  EXPECT_EQ(g.u64(5), g.u64(5));
+  EXPECT_NE(g.u64(5), g.u64(6));
+  rng g2(7);
+  EXPECT_EQ(g.u64(123), g2.u64(123));
+  rng g3(8);
+  EXPECT_NE(g.u64(123), g3.u64(123));
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  rng g(7);
+  rng a = g.split(1);
+  rng b = g.split(2);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) equal += a.u64(i) == b.u64(i);
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  rng g(3);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    double u = g.uniform(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  rng g(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += g.uniform(static_cast<std::uint64_t>(i));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  rng g(5);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_LT(g.below(i, 37), 37u);
+  }
+  EXPECT_EQ(g.below(0, 0), 0u);
+  EXPECT_EQ(g.below(0, 1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  rng g(13);
+  int counts[10] = {};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    counts[g.below(static_cast<std::uint64_t>(i), 10)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, CoinProbability) {
+  rng g(17);
+  int heads = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    heads += g.coin(static_cast<std::uint64_t>(i), 0.25);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.01);
+}
+
+TEST(Rng, RangedUniform) {
+  rng g(23);
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    double v = g.uniform(i, -3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+}  // namespace

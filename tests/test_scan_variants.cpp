@@ -1,0 +1,135 @@
+// Scans and reduces under different monoids: the blocked implementations
+// require (f, z) to be a monoid (z a two-sided identity, f associative);
+// these tests run several non-plus monoids across all three libraries and
+// block sizes, including ones where wrong identity handling would corrupt
+// results at block boundaries (max with -inf, bitwise-or, gcd, interval
+// merge).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+class ScanVariants : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  scoped_block_size guard_{GetParam()};
+};
+
+template <typename P, typename T, typename F>
+std::vector<T> lib_scan(const parray<T>& in, F f, T z) {
+  auto [pre, total] = P::scan(f, z, P::view(in));
+  (void)total;
+  auto arr = P::to_array(std::move(pre));
+  return {arr.begin(), arr.end()};
+}
+
+template <typename T, typename F>
+std::vector<T> model_scan(const parray<T>& in, F f, T z) {
+  std::vector<T> out(in.size());
+  T acc = z;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc = f(acc, in[i]);
+  }
+  return out;
+}
+
+template <typename T, typename F>
+void check_all(const parray<T>& in, F f, T z) {
+  auto want = model_scan(in, f, z);
+  EXPECT_EQ((lib_scan<array_policy>(in, f, z)), want);
+  EXPECT_EQ((lib_scan<rad_policy>(in, f, z)), want);
+  EXPECT_EQ((lib_scan<delay_policy>(in, f, z)), want);
+}
+
+TEST_P(ScanVariants, MaxMonoid) {
+  random::rng gen(1);
+  auto in = parray<std::int64_t>::tabulate(500, [&](std::size_t i) {
+    return static_cast<std::int64_t>(gen.below(i, 1000)) - 500;
+  });
+  check_all(
+      in, [](std::int64_t a, std::int64_t b) { return a > b ? a : b; },
+      std::numeric_limits<std::int64_t>::min());
+}
+
+TEST_P(ScanVariants, MinMonoid) {
+  random::rng gen(2);
+  auto in = parray<std::int64_t>::tabulate(321, [&](std::size_t i) {
+    return static_cast<std::int64_t>(gen.below(i, 1000));
+  });
+  check_all(
+      in, [](std::int64_t a, std::int64_t b) { return a < b ? a : b; },
+      std::numeric_limits<std::int64_t>::max());
+}
+
+TEST_P(ScanVariants, BitwiseOr) {
+  random::rng gen(3);
+  auto in = parray<std::uint64_t>::tabulate(
+      200, [&](std::size_t i) { return gen.u64(i) & 0xffff; });
+  check_all(in,
+            [](std::uint64_t a, std::uint64_t b) { return a | b; },
+            std::uint64_t{0});
+}
+
+TEST_P(ScanVariants, Gcd) {
+  random::rng gen(4);
+  auto in = parray<std::uint64_t>::tabulate(150, [&](std::size_t i) {
+    return 6 * (1 + gen.below(i, 100));  // multiples of 6
+  });
+  // gcd with identity 0: gcd(0, x) = x.
+  check_all(in,
+            [](std::uint64_t a, std::uint64_t b) { return std::gcd(a, b); },
+            std::uint64_t{0});
+}
+
+// Interval-merge monoid: (lo, hi) bounding boxes under union, with the
+// empty interval as identity — a struct-valued monoid.
+struct interval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  friend bool operator==(const interval&, const interval&) = default;
+};
+
+interval merge(const interval& a, const interval& b) {
+  return interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+TEST_P(ScanVariants, IntervalUnion) {
+  random::rng gen(5);
+  auto in = parray<interval>::tabulate(100, [&](std::size_t i) {
+    double c = gen.uniform(2 * i, -10, 10);
+    double w = gen.uniform(2 * i + 1, 0, 2);
+    return interval{c - w, c + w};
+  });
+  check_all(in, merge, interval{});
+}
+
+TEST_P(ScanVariants, ReduceAgreesWithScanTotal) {
+  random::rng gen(6);
+  auto in = parray<std::int64_t>::tabulate(777, [&](std::size_t i) {
+    return static_cast<std::int64_t>(gen.below(i, 100));
+  });
+  auto f = [](std::int64_t a, std::int64_t b) { return a > b ? a : b; };
+  std::int64_t z = std::numeric_limits<std::int64_t>::min();
+  auto [pre, total] = pbds::delayed::scan(f, z, pbds::delayed::view(in));
+  (void)pre;
+  EXPECT_EQ(total, pbds::delayed::reduce(f, z, pbds::delayed::view(in)));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ScanVariants,
+                         ::testing::Values(1, 3, 32, 4096),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+}  // namespace

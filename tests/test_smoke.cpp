@@ -1,0 +1,100 @@
+// End-to-end smoke test: the three libraries produce identical results on a
+// representative pipeline, across awkward sizes and block sizes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+
+namespace {
+
+using pbds::parray;
+
+template <typename P>
+std::int64_t pipeline(const parray<std::int64_t>& a) {
+  // map -> scan -> map -> filter -> reduce : exercises RAD and BID paths.
+  auto xs = P::map([](std::int64_t x) { return x + 1; }, P::view(a));
+  auto [pre, total] = P::scan(
+      [](std::int64_t u, std::int64_t v) { return u + v; },
+      std::int64_t{0}, xs);
+  auto ys = P::map([](std::int64_t x) { return 2 * x; }, pre);
+  auto kept = P::filter([](std::int64_t x) { return x % 3 != 0; }, ys);
+  auto s = P::reduce([](std::int64_t u, std::int64_t v) { return u + v; },
+                     std::int64_t{0}, kept);
+  return s + total;
+}
+
+std::int64_t pipeline_reference(const parray<std::int64_t>& a) {
+  std::int64_t acc = 0, s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t pre2 = 2 * acc;
+    if (pre2 % 3 != 0) s += pre2;
+    acc += a[i] + 1;
+  }
+  return s + acc;
+}
+
+TEST(Smoke, ThreeLibrariesAgree) {
+  for (std::size_t blk : {1u, 3u, 64u, 2048u}) {
+    pbds::scoped_block_size guard(blk);
+    for (std::size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 1000u, 4096u}) {
+      auto a = parray<std::int64_t>::tabulate(n, [](std::size_t i) {
+        return static_cast<std::int64_t>((i * 37) % 101) - 50;
+      });
+      std::int64_t want = pipeline_reference(a);
+      EXPECT_EQ(pipeline<pbds::array_policy>(a), want)
+          << "array n=" << n << " blk=" << blk;
+      EXPECT_EQ(pipeline<pbds::rad_policy>(a), want)
+          << "rad n=" << n << " blk=" << blk;
+      EXPECT_EQ(pipeline<pbds::delay_policy>(a), want)
+          << "delay n=" << n << " blk=" << blk;
+    }
+  }
+}
+
+template <typename P>
+std::size_t flatten_pipeline(std::size_t k) {
+  // flatten(map(tabulate)) -> filter_op -> reduce
+  auto nested = P::map(
+      [](std::size_t i) {
+        return P::tabulate(i % 5, [i](std::size_t j) { return i + j; });
+      },
+      P::iota(k));
+  auto flat = P::flatten(nested);
+  auto odd = P::filter_op(
+      [](std::size_t x) -> std::optional<std::size_t> {
+        if (x % 2 == 1) return x * 10;
+        return std::nullopt;
+      },
+      flat);
+  return P::reduce([](std::size_t u, std::size_t v) { return u + v; },
+                   std::size_t{0}, odd);
+}
+
+std::size_t flatten_reference(std::size_t k) {
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < i % 5; ++j)
+      if ((i + j) % 2 == 1) s += (i + j) * 10;
+  return s;
+}
+
+TEST(Smoke, FlattenFilterOpAgree) {
+  for (std::size_t blk : {1u, 7u, 256u}) {
+    pbds::scoped_block_size guard(blk);
+    for (std::size_t k : {0u, 1u, 10u, 500u}) {
+      std::size_t want = flatten_reference(k);
+      EXPECT_EQ(flatten_pipeline<pbds::array_policy>(k), want)
+          << "array k=" << k << " blk=" << blk;
+      EXPECT_EQ(flatten_pipeline<pbds::rad_policy>(k), want)
+          << "rad k=" << k << " blk=" << blk;
+      EXPECT_EQ(flatten_pipeline<pbds::delay_policy>(k), want)
+          << "delay k=" << k << " blk=" << blk;
+    }
+  }
+}
+
+}  // namespace

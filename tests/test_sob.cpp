@@ -1,0 +1,72 @@
+// Unit tests for the stream-of-blocks comparator (§2.1 / §6.5): the raw
+// range primitives and the SOB bestcut against the reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "benchmarks/bestcut.hpp"
+#include "benchmarks/bestcut_sob.hpp"
+#include "sob/stream_of_blocks.hpp"
+
+namespace {
+
+using pbds::parray;
+
+TEST(Sob, RangeReduceMatchesAccumulate) {
+  for (std::size_t n : {0u, 1u, 100u, 10'000u}) {
+    auto a = parray<std::int64_t>::tabulate(n, [](std::size_t i) {
+      return static_cast<std::int64_t>(i % 11) - 5;
+    });
+    std::int64_t want =
+        std::accumulate(a.begin(), a.end(), std::int64_t{0});
+    EXPECT_EQ(pbds::sob::range_reduce(
+                  a.data(), n,
+                  [](std::int64_t x, std::int64_t y) { return x + y; },
+                  std::int64_t{0}),
+              want)
+        << n;
+  }
+}
+
+TEST(Sob, RangeScanExclusiveInPlace) {
+  for (std::size_t n : {0u, 1u, 7u, 1000u, 5000u}) {
+    auto a = parray<std::int64_t>::tabulate(n, [](std::size_t i) {
+      return static_cast<std::int64_t>(i + 1);
+    });
+    auto expect = std::vector<std::int64_t>(n);
+    std::int64_t acc = 100;
+    for (std::size_t i = 0; i < n; ++i) {
+      expect[i] = acc;
+      acc += static_cast<std::int64_t>(i + 1);
+    }
+    std::int64_t total = pbds::sob::range_scan_exclusive(
+        a.data(), n, [](std::int64_t x, std::int64_t y) { return x + y; },
+        std::int64_t{100});
+    EXPECT_EQ(total, acc) << n;
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a[i], expect[i]) << i;
+  }
+}
+
+TEST(Sob, BestcutSobMatchesReference) {
+  auto events = pbds::bench::bestcut_input(50'000);
+  double want = pbds::bench::bestcut_reference(events);
+  for (std::size_t blk : {1u, 10u, 1000u, 50'000u, 100'000u}) {
+    EXPECT_DOUBLE_EQ(pbds::bench::bestcut_sob(events, blk), want)
+        << "blk=" << blk;
+  }
+}
+
+TEST(Sob, BestcutSobCarriesStateAcrossBlocks) {
+  // A tiny case where the running end-count must cross block boundaries:
+  // all events are ends, block size 1.
+  auto events = parray<pbds::geom::axis_event>::tabulate(
+      4, [](std::size_t i) {
+        return pbds::geom::axis_event{0.2 * static_cast<double>(i + 1), 1};
+      });
+  double want = pbds::bench::bestcut_reference(events);
+  EXPECT_DOUBLE_EQ(pbds::bench::bestcut_sob(events, 1), want);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Unit tests for the parallel merge sort substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "core/rad.hpp"
+#include "sort/merge_sort.hpp"
+
+namespace {
+
+using pbds::parray;
+
+parray<std::int64_t> random_array(std::size_t n, std::uint64_t seed,
+                                  std::uint64_t range) {
+  pbds::random::rng gen(seed);
+  return parray<std::int64_t>::tabulate(n, [&](std::size_t i) {
+    return static_cast<std::int64_t>(gen.below(i, range));
+  });
+}
+
+TEST(Sort, MatchesStdSortAcrossSizes) {
+  for (std::size_t n : {0u, 1u, 2u, 100u, 4096u, 4097u, 100'000u}) {
+    auto a = random_array(n, n + 1, 1'000'000);
+    std::vector<std::int64_t> want(a.begin(), a.end());
+    std::sort(want.begin(), want.end());
+    pbds::sort::sort_inplace(a);
+    ASSERT_EQ(a.size(), want.size());
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a[i], want[i]) << i;
+  }
+}
+
+TEST(Sort, AlreadySortedAndReversed) {
+  std::size_t n = 50'000;
+  auto asc = parray<std::int64_t>::tabulate(
+      n, [](std::size_t i) { return (std::int64_t)i; });
+  pbds::sort::sort_inplace(asc);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(asc[i], (std::int64_t)i);
+  auto desc = parray<std::int64_t>::tabulate(
+      n, [n](std::size_t i) { return (std::int64_t)(n - i); });
+  pbds::sort::sort_inplace(desc);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(desc[i], (std::int64_t)i + 1);
+}
+
+TEST(Sort, ManyDuplicates) {
+  auto a = random_array(100'000, 3, 4);  // values in {0,1,2,3}
+  pbds::sort::sort_inplace(a);
+  std::size_t counts[4] = {};
+  auto b = random_array(100'000, 3, 4);
+  for (auto x : b) counts[x]++;
+  std::size_t i = 0;
+  for (std::int64_t v = 0; v < 4; ++v)
+    for (std::size_t k = 0; k < counts[v]; ++k) ASSERT_EQ(a[i++], v);
+}
+
+TEST(Sort, StabilityPreservesInputOrderOfTies) {
+  // (key, original index) pairs sorted by key only: for equal keys the
+  // original indices must stay increasing.
+  struct kv {
+    std::int32_t key;
+    std::int32_t idx;
+  };
+  std::size_t n = 60'000;
+  pbds::random::rng gen(9);
+  auto a = parray<kv>::tabulate(n, [&](std::size_t i) {
+    return kv{static_cast<std::int32_t>(gen.below(i, 16)),
+              static_cast<std::int32_t>(i)};
+  });
+  pbds::sort::sort_inplace(
+      a, [](const kv& x, const kv& y) { return x.key < y.key; });
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(a[i - 1].key, a[i].key);
+    if (a[i - 1].key == a[i].key) {
+      ASSERT_LT(a[i - 1].idx, a[i].idx) << i;
+    }
+  }
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  auto a = random_array(10'000, 5, 1'000);
+  pbds::sort::sort_inplace(
+      a, [](std::int64_t x, std::int64_t y) { return x > y; });
+  for (std::size_t i = 1; i < a.size(); ++i) ASSERT_GE(a[i - 1], a[i]);
+}
+
+TEST(Sort, SortedCopyOfRad) {
+  auto view = pbds::rad_tabulate(1000, [](std::size_t i) {
+    return static_cast<std::int64_t>((i * 7919) % 1000);
+  });
+  auto s = pbds::sort::sorted(view);
+  for (std::size_t i = 1; i < s.size(); ++i) ASSERT_LE(s[i - 1], s[i]);
+  EXPECT_EQ(view[0], static_cast<std::int64_t>(0));  // source untouched
+}
+
+TEST(Sort, DeterministicAcrossWorkerCounts) {
+  auto a = random_array(200'000, 11, 1 << 20);
+  auto b = a.clone();
+  unsigned before = pbds::sched::num_workers();
+  pbds::sched::set_num_workers(4);
+  pbds::sort::sort_inplace(a);
+  pbds::sched::set_num_workers(1);
+  pbds::sort::sort_inplace(b);
+  pbds::sched::set_num_workers(before);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Stress tests: configurations that maximize internal pressure — tens of
+// thousands of blocks, deep fused pipelines, larger inputs, high worker
+// oversubscription — while still finishing in a couple of seconds each.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "benchmarks/bfs.hpp"
+#include "benchmarks/policies.hpp"
+#include "core/block.hpp"
+#include "core/delayed.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+namespace d = pbds::delayed;
+
+TEST(Stress, ManyBlocksScanPipeline) {
+  // 1M elements at block size 16 => 65536 blocks, large partial arrays,
+  // heavy per-block dispatch.
+  scoped_block_size guard(16);
+  std::size_t n = 1 << 20;
+  auto t = d::map([](std::size_t i) { return (std::int64_t)(i % 13); },
+                  d::iota(n));
+  auto [pre, total] = d::scan(
+      [](std::int64_t a, std::int64_t b) { return a + b; }, std::int64_t{0},
+      t);
+  std::int64_t checksum = d::reduce(
+      [](std::int64_t a, std::int64_t b) { return a ^ b; }, std::int64_t{0},
+      pre);
+  std::int64_t want_total = 0, want_checksum = 0, acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    want_checksum ^= acc;
+    acc += static_cast<std::int64_t>(i % 13);
+  }
+  want_total = acc;
+  EXPECT_EQ(total, want_total);
+  EXPECT_EQ(checksum, want_checksum);
+}
+
+TEST(Stress, DeepFusedPipeline) {
+  // Ten chained fused stages over one input; a torture test for template
+  // composition depth and block-size propagation.
+  scoped_block_size guard(64);
+  std::size_t n = 100'000;
+  auto s0 = d::map([](std::size_t i) { return (std::int64_t)i; }, d::iota(n));
+  auto s1 = d::map([](std::int64_t x) { return x + 1; }, s0);
+  auto [s2, t2] = d::scan(
+      [](std::int64_t a, std::int64_t b) { return a + b; }, std::int64_t{0},
+      s1);
+  (void)t2;
+  auto s3 = d::map([](std::int64_t x) { return x % 1000; }, s2);
+  auto s4 = d::zip(s3, d::iota(n));
+  auto s5 = d::map(
+      [](const std::pair<std::int64_t, std::size_t>& p) {
+        return p.first + static_cast<std::int64_t>(p.second);
+      },
+      s4);
+  auto s6 = d::filter([](std::int64_t x) { return x % 3 != 0; }, s5);
+  auto [s7, t7] = d::scan_inclusive(
+      [](std::int64_t a, std::int64_t b) { return a + b; }, std::int64_t{0},
+      s6);
+  auto s8 = d::map([](std::int64_t x) { return x & 0xffff; }, s7);
+  std::int64_t got = d::reduce(
+      [](std::int64_t a, std::int64_t b) { return a + b; }, std::int64_t{0},
+      s8);
+  (void)t7;
+  // Sequential model of the same ten stages.
+  std::int64_t acc_scan = 0, acc_inc = 0, want = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t x = static_cast<std::int64_t>(i) + 1;
+    std::int64_t pre = acc_scan;
+    acc_scan += x;
+    std::int64_t v = pre % 1000 + static_cast<std::int64_t>(i);
+    if (v % 3 != 0) {
+      acc_inc += v;
+      want += acc_inc & 0xffff;
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(Stress, OversubscribedWorkersLargeBfs) {
+  unsigned before = sched::num_workers();
+  sched::set_num_workers(8);  // 8 threads on (likely) 1 core
+  auto g = graph::rmat(15, 500'000);
+  auto parent = bench::bfs<delay_policy>(g, 0);
+  EXPECT_TRUE(graph::check_bfs_tree(g, 0, [&](std::size_t v) {
+    return parent[v].load(std::memory_order_relaxed);
+  }));
+  sched::set_num_workers(before);
+}
+
+TEST(Stress, RepeatedPoolRestarts) {
+  // set_num_workers churn: start/stop the pool many times with work in
+  // between; catches thread lifecycle bugs.
+  unsigned before = sched::num_workers();
+  for (unsigned p : {1u, 3u, 2u, 5u, 1u, 4u}) {
+    sched::set_num_workers(p);
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(0, 50'000, [&](std::size_t i) {
+      sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 50'000LL * 49'999 / 2) << p;
+  }
+  sched::set_num_workers(before);
+}
+
+TEST(Stress, FilterAlmostAllSurvive) {
+  // Survivor-heavy filter: packed blocks nearly full, region walk long.
+  scoped_block_size guard(128);
+  std::size_t n = 1 << 19;
+  auto f = d::filter([](std::size_t x) { return x % 1000 != 0; }, d::iota(n));
+  EXPECT_EQ(d::length(f), n - (n + 999) / 1000);
+  auto arr = d::to_array(f);
+  EXPECT_EQ(arr[0], 1u);
+  EXPECT_EQ(arr[997], 998u);
+  EXPECT_EQ(arr[998], 999u);
+  EXPECT_EQ(arr[999], 1001u);  // 1000 filtered out
+}
+
+TEST(Stress, FlattenManyTinyInners) {
+  scoped_block_size guard(256);
+  std::size_t k = 200'000;  // 200k inners of size 0-2
+  auto nested = d::map(
+      [](std::size_t i) {
+        return d::tabulate(i % 3, [i](std::size_t j) { return i + j; });
+      },
+      d::iota(k));
+  auto flat = d::flatten(nested);
+  std::size_t want_len = 0, want_sum = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < i % 3; ++j) {
+      ++want_len;
+      want_sum += i + j;
+    }
+  }
+  EXPECT_EQ(d::length(flat), want_len);
+  EXPECT_EQ(d::reduce([](std::size_t a, std::size_t b) { return a + b; },
+                      std::size_t{0}, flat),
+            want_sum);
+}
+
+}  // namespace

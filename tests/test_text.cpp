@@ -1,0 +1,93 @@
+// Unit tests for the text substrate (generators, contains, wc reference).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "text/text.hpp"
+
+namespace {
+
+namespace t = pbds::text;
+using pbds::parray;
+
+parray<char> from_string(const std::string& s) {
+  return parray<char>::tabulate(s.size(),
+                                [&](std::size_t i) { return s[i]; });
+}
+
+TEST(Text, IsSpace) {
+  EXPECT_TRUE(t::is_space(' '));
+  EXPECT_TRUE(t::is_space('\n'));
+  EXPECT_TRUE(t::is_space('\t'));
+  EXPECT_FALSE(t::is_space('a'));
+  EXPECT_FALSE(t::is_space('0'));
+}
+
+TEST(Text, ContainsBasics) {
+  const char* s = "hello world";
+  EXPECT_TRUE(t::contains(s, 0, 11, "world"));
+  EXPECT_TRUE(t::contains(s, 0, 11, "hello"));
+  EXPECT_FALSE(t::contains(s, 0, 11, "worlds"));
+  EXPECT_FALSE(t::contains(s, 0, 4, "hello"));  // range too short
+  EXPECT_TRUE(t::contains(s, 6, 11, "world"));
+  EXPECT_FALSE(t::contains(s, 7, 11, "world"));
+  EXPECT_TRUE(t::contains(s, 3, 3, ""));  // empty pattern matches
+}
+
+TEST(Text, ContainsDoesNotCrossRangeEnd) {
+  const char* s = "abcabc";
+  // "cab" sits at positions 2..4, which does not fit inside [0, 4).
+  EXPECT_FALSE(t::contains(s, 0, 4, "cab"));
+  EXPECT_TRUE(t::contains(s, 0, 5, "cab"));
+  // "abca" (positions 0..3) fits exactly inside [0, 4).
+  EXPECT_TRUE(t::contains(s, 0, 4, "abca"));
+  EXPECT_FALSE(t::contains(s, 1, 4, "abca"));
+}
+
+TEST(Text, ReferenceWcKnownStrings) {
+  auto c1 = t::reference_wc(from_string("one two three\n"));
+  EXPECT_EQ(c1.lines, 1u);
+  EXPECT_EQ(c1.words, 3u);
+  EXPECT_EQ(c1.bytes, 14u);
+
+  auto c2 = t::reference_wc(from_string("  leading  and   trailing  "));
+  EXPECT_EQ(c2.lines, 0u);
+  EXPECT_EQ(c2.words, 3u);
+
+  auto c3 = t::reference_wc(from_string("\n\n\n"));
+  EXPECT_EQ(c3.lines, 3u);
+  EXPECT_EQ(c3.words, 0u);
+
+  auto c4 = t::reference_wc(from_string(""));
+  EXPECT_EQ(c4.lines, 0u);
+  EXPECT_EQ(c4.words, 0u);
+  EXPECT_EQ(c4.bytes, 0u);
+}
+
+TEST(Text, RandomWordsShape) {
+  auto corpus = t::random_words(100'000, 8.0, 3);
+  EXPECT_EQ(corpus.size(), 100'000u);
+  std::size_t spaces = 0;
+  for (char c : corpus) {
+    ASSERT_TRUE(c == ' ' || (c >= 'a' && c <= 'z'));
+    spaces += c == ' ';
+  }
+  // ~1/8 of positions are spaces.
+  EXPECT_NEAR(static_cast<double>(spaces) / 100'000, 1.0 / 8.0, 0.01);
+}
+
+TEST(Text, RandomLinesShape) {
+  auto corpus = t::random_lines(200'000, 30.0, 8.0, 4);
+  std::size_t newlines = 0;
+  for (char c : corpus) newlines += c == '\n';
+  EXPECT_NEAR(static_cast<double>(newlines) / 200'000, 1.0 / 30.0, 0.005);
+}
+
+TEST(Text, GeneratorsAreDeterministic) {
+  auto a = t::random_words(1000, 7.0, 5);
+  auto b = t::random_words(1000, 7.0, 5);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), 1000), 0);
+}
+
+}  // namespace
