@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_force_vs_recompute.dir/ablation_force_vs_recompute.cpp.o"
+  "CMakeFiles/ablation_force_vs_recompute.dir/ablation_force_vs_recompute.cpp.o.d"
+  "ablation_force_vs_recompute"
+  "ablation_force_vs_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_force_vs_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_force_vs_recompute.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extras_pbbs_workloads.dir/extras_pbbs_workloads.cpp.o"
+  "CMakeFiles/extras_pbbs_workloads.dir/extras_pbbs_workloads.cpp.o.d"
+  "extras_pbbs_workloads"
+  "extras_pbbs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extras_pbbs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

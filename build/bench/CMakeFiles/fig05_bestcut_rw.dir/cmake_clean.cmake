@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bestcut_rw.dir/fig05_bestcut_rw.cpp.o"
+  "CMakeFiles/fig05_bestcut_rw.dir/fig05_bestcut_rw.cpp.o.d"
+  "fig05_bestcut_rw"
+  "fig05_bestcut_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bestcut_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cost_table.dir/fig11_cost_table.cpp.o"
+  "CMakeFiles/fig11_cost_table.dir/fig11_cost_table.cpp.o.d"
+  "fig11_cost_table"
+  "fig11_cost_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cost_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bid_benchmarks.dir/fig13_bid_benchmarks.cpp.o"
+  "CMakeFiles/fig13_bid_benchmarks.dir/fig13_bid_benchmarks.cpp.o.d"
+  "fig13_bid_benchmarks"
+  "fig13_bid_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bid_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

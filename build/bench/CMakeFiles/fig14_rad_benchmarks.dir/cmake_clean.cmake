@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rad_benchmarks.dir/fig14_rad_benchmarks.cpp.o"
+  "CMakeFiles/fig14_rad_benchmarks.dir/fig14_rad_benchmarks.cpp.o.d"
+  "fig14_rad_benchmarks"
+  "fig14_rad_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rad_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_stream_of_blocks.dir/fig16_stream_of_blocks.cpp.o"
+  "CMakeFiles/fig16_stream_of_blocks.dir/fig16_stream_of_blocks.cpp.o.d"
+  "fig16_stream_of_blocks"
+  "fig16_stream_of_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stream_of_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handopt_comparison.dir/handopt_comparison.cpp.o"
+  "CMakeFiles/handopt_comparison.dir/handopt_comparison.cpp.o.d"
+  "handopt_comparison"
+  "handopt_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handopt_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

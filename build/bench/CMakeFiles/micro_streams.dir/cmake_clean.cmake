@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_streams.dir/micro_streams.cpp.o"
+  "CMakeFiles/micro_streams.dir/micro_streams.cpp.o.d"
+  "micro_streams"
+  "micro_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbdsbench.dir/pbdsbench.cpp.o"
+  "CMakeFiles/pbdsbench.dir/pbdsbench.cpp.o.d"
+  "pbdsbench"
+  "pbdsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbdsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_bestcut.dir/raytrace_bestcut.cpp.o"
+  "CMakeFiles/raytrace_bestcut.dir/raytrace_bestcut.cpp.o.d"
+  "raytrace_bestcut"
+  "raytrace_bestcut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_bestcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_ops.dir/test_array_ops.cpp.o"
+  "CMakeFiles/test_array_ops.dir/test_array_ops.cpp.o.d"
+  "test_array_ops"
+  "test_array_ops.pdb"
+  "test_array_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

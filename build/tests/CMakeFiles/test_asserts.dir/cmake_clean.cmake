@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asserts.dir/test_asserts.cpp.o"
+  "CMakeFiles/test_asserts.dir/test_asserts.cpp.o.d"
+  "test_asserts"
+  "test_asserts.pdb"
+  "test_asserts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bid_invariants.dir/test_bid_invariants.cpp.o"
+  "CMakeFiles/test_bid_invariants.dir/test_bid_invariants.cpp.o.d"
+  "test_bid_invariants"
+  "test_bid_invariants.pdb"
+  "test_bid_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bid_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

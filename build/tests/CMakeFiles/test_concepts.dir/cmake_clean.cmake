@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concepts.dir/test_concepts.cpp.o"
+  "CMakeFiles/test_concepts.dir/test_concepts.cpp.o.d"
+  "test_concepts"
+  "test_concepts.pdb"
+  "test_concepts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

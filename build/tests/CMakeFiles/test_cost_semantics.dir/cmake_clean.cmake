@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_semantics.dir/test_cost_semantics.cpp.o"
+  "CMakeFiles/test_cost_semantics.dir/test_cost_semantics.cpp.o.d"
+  "test_cost_semantics"
+  "test_cost_semantics.pdb"
+  "test_cost_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

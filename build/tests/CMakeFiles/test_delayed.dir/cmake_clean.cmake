@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed.dir/test_delayed.cpp.o"
+  "CMakeFiles/test_delayed.dir/test_delayed.cpp.o.d"
+  "test_delayed"
+  "test_delayed.pdb"
+  "test_delayed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed_extras.dir/test_delayed_extras.cpp.o"
+  "CMakeFiles/test_delayed_extras.dir/test_delayed_extras.cpp.o.d"
+  "test_delayed_extras"
+  "test_delayed_extras.pdb"
+  "test_delayed_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extras_ops.dir/test_extras_ops.cpp.o"
+  "CMakeFiles/test_extras_ops.dir/test_extras_ops.cpp.o.d"
+  "test_extras_ops"
+  "test_extras_ops.pdb"
+  "test_extras_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extras_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

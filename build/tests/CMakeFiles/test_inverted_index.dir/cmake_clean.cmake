@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverted_index.dir/test_inverted_index.cpp.o"
+  "CMakeFiles/test_inverted_index.dir/test_inverted_index.cpp.o.d"
+  "test_inverted_index"
+  "test_inverted_index.pdb"
+  "test_inverted_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverted_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

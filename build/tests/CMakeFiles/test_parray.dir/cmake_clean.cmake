@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parray.dir/test_parray.cpp.o"
+  "CMakeFiles/test_parray.dir/test_parray.cpp.o.d"
+  "test_parray"
+  "test_parray.pdb"
+  "test_parray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

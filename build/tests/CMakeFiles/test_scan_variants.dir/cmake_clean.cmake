@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_variants.dir/test_scan_variants.cpp.o"
+  "CMakeFiles/test_scan_variants.dir/test_scan_variants.cpp.o.d"
+  "test_scan_variants"
+  "test_scan_variants.pdb"
+  "test_scan_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

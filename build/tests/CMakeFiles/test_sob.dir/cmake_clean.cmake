@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sob.dir/test_sob.cpp.o"
+  "CMakeFiles/test_sob.dir/test_sob.cpp.o.d"
+  "test_sob"
+  "test_sob.pdb"
+  "test_sob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Concepts.CompileTimeChecksHold]=]  /root/repo/build/tests/test_concepts [==[--gtest_filter=Concepts.CompileTimeChecksHold]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Concepts.CompileTimeChecksHold]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_concepts_TESTS Concepts.CompileTimeChecksHold)
