@@ -52,10 +52,38 @@ class parray {
   static parray uninitialized(std::size_t n) { return parray(n); }
 
   // Parallel tabulation: element i is f(i). `granularity` as parallel_for.
+  //
+  // When the allocation fault injector is armed (and T can be
+  // default-constructed as a placeholder), construction is exception
+  // tolerant: a throw from f or from T's constructor — e.g. an injected
+  // bad_alloc while a filter block grows its pack buffer — is captured
+  // inside the loop body (it must not unwind through a fork), the slot is
+  // default-constructed so every element has a destructible value, and the
+  // first exception is rethrown on the calling thread after the join. The
+  // returned-by-exception parray then destroys all n elements normally and
+  // nothing leaks. The injector-off fast path is unchanged.
   template <typename F>
   static parray tabulate(std::size_t n, F&& f, std::size_t granularity = 0) {
     parray a(n);
     T* p = a.data_;
+    if constexpr (std::is_nothrow_default_constructible_v<T>) {
+      if (memory::fault_injection_armed()) {
+        memory::first_exception err;
+        parallel_for(
+            0, n,
+            [&, p](std::size_t i) {
+              try {
+                ::new (p + i) T(f(i));
+              } catch (...) {
+                err.capture();
+                ::new (p + i) T();
+              }
+            },
+            granularity);
+        err.rethrow_if_set();
+        return a;
+      }
+    }
     parallel_for(
         0, n, [&](std::size_t i) { ::new (p + i) T(f(i)); }, granularity);
     return a;
@@ -93,9 +121,12 @@ class parray {
  private:
   explicit parray(std::size_t n) : n_(n) {
     if (n_ > 0) {
-      memory::note_alloc(n_ * sizeof(T));
+      memory::maybe_inject_alloc_fault();
+      // Count only after the allocation succeeded, so a throw (real or
+      // injected) leaves the accounting untouched.
       data_ = static_cast<T*>(
           ::operator new(n_ * sizeof(T), std::align_val_t(alignof(T))));
+      memory::note_alloc(n_ * sizeof(T));
     }
   }
 

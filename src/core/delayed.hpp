@@ -34,6 +34,7 @@
 #include "core/rad.hpp"
 #include "core/region.hpp"
 #include "memory/counting_allocator.hpp"
+#include "memory/tracking.hpp"
 #include "sched/parallel.hpp"
 #include "stream/streams.hpp"
 
@@ -164,12 +165,38 @@ void apply_each(const Seq& s, const G& g) {
 // toArray (Fig. 9 lines 9-14): materialize into a fresh array. Rather than
 // zipping with an index RAD as in the figure, each block writes at its own
 // offset — the same traversal without manufacturing index pairs.
+//
+// Under the allocation fault injector the traversal is exception tolerant
+// (same discipline as parray::tabulate): a throw from the block function
+// or an element evaluation is captured inside the block body, the
+// remaining slots of the block are default-constructed so the returned
+// array is uniformly destructible, and the first exception is rethrown
+// after the join — so an injected bad_alloc propagates without leaking.
 template <typename Seq>
 [[nodiscard]] auto to_array(const Seq& s) {
   using T = typename std::decay_t<decltype(as_seq(s))>::value_type;
   auto bd = bid_of(as_seq(s));
   auto out = parray<T>::uninitialized(bd.n);
   T* q = out.data();
+  if constexpr (std::is_nothrow_default_constructible_v<T>) {
+    if (memory::fault_injection_armed()) {
+      memory::first_exception err;
+      apply(bd.num_blocks(), [&, q](std::size_t j) {
+        std::size_t base = j * bd.block_size;
+        std::size_t len = bd.block_length(j);
+        std::size_t k = 0;
+        try {
+          auto st = bd.block(j);
+          for (; k < len; ++k) ::new (q + base + k) T(st.next());
+        } catch (...) {
+          err.capture();
+          for (; k < len; ++k) ::new (q + base + k) T();
+        }
+      });
+      err.rethrow_if_set();
+      return out;
+    }
+  }
   apply(bd.num_blocks(), [&, q](std::size_t j) {
     auto st = bd.block(j);
     std::size_t base = j * bd.block_size;

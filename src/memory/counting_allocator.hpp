@@ -23,8 +23,12 @@ class counting_allocator {
   counting_allocator(const counting_allocator<U>&) noexcept {}  // NOLINT
 
   T* allocate(std::size_t n) {
+    maybe_inject_alloc_fault();
+    // Count only after the allocation succeeded, so a throw (real or
+    // injected) leaves the accounting untouched.
+    T* p = static_cast<T*>(::operator new(n * sizeof(T)));
     note_alloc(n * sizeof(T));
-    return static_cast<T*>(::operator new(n * sizeof(T)));
+    return p;
   }
 
   void deallocate(T* p, std::size_t n) noexcept {

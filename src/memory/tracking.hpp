@@ -14,11 +14,20 @@
 //
 // Counters are process-global atomics; allocations in this codebase happen
 // per *block*, not per element, so contention is negligible.
+// An allocation *fault injector* rides on the same choke point: every
+// tracked allocation first calls maybe_inject_alloc_fault(), which can be
+// armed (scoped_alloc_faults) to throw std::bad_alloc on the Nth
+// allocation or with seeded probability — the hook the exception-safety
+// tests (tests/test_fault_injection.cpp) use to prove that scan partials,
+// filter pack buffers and flatten offsets never leak on out-of-memory
+// paths.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <new>
 
 namespace pbds::memory {
 
@@ -100,6 +109,149 @@ class space_meter {
   std::int64_t live_at_start_;
   std::int64_t total_at_start_;
   std::int64_t allocs_at_start_;
+};
+
+// --- allocation fault injection ---------------------------------------------
+//
+// Every tracked allocation site (parray's buffer, counting_allocator) calls
+// maybe_inject_alloc_fault() *before* allocating, so an injected failure is
+// indistinguishable from the real allocator throwing std::bad_alloc — and
+// the counters above are only updated on success, which is what lets tests
+// assert that bytes_live returns to its pre-call value after an injected
+// failure propagates out of scan/filter/flatten.
+//
+// Two modes, both armed via the RAII scoped_alloc_faults below:
+//   fail_nth(n)                    — the (n+1)-th tracked allocation from
+//                                    now throws; one-shot, later ones
+//                                    succeed (so recovery paths still run).
+//   fail_with_probability(seed, p) — every tracked allocation throws
+//                                    independently with probability p from
+//                                    a seeded xorshift stream.
+// The injector stays "armed" (fault_injection_armed() == true) for the
+// whole scope even after a one-shot fault fires; construction paths that
+// pay for exception tolerance only when armed key off that predicate.
+
+namespace detail {
+// 0 = off, 1 = countdown, 2 = probability, 3 = armed but spent (one-shot
+// fault already delivered).
+inline std::atomic<int> g_fault_mode{0};
+inline std::atomic<std::int64_t> g_fault_countdown{0};
+inline std::atomic<std::uint64_t> g_fault_rng{0};
+inline std::atomic<std::uint64_t> g_fault_threshold{0};
+inline std::atomic<std::int64_t> g_faults_injected{0};
+}  // namespace detail
+
+[[nodiscard]] inline bool fault_injection_armed() {
+  return detail::g_fault_mode.load(std::memory_order_relaxed) != 0;
+}
+
+[[nodiscard]] inline std::int64_t faults_injected() {
+  return detail::g_faults_injected.load(std::memory_order_relaxed);
+}
+
+inline void maybe_inject_alloc_fault() {
+  int mode = detail::g_fault_mode.load(std::memory_order_relaxed);
+  if (mode == 0 || mode == 3) return;
+  if (mode == 1) {
+    // Exactly one caller observes the zero crossing.
+    if (detail::g_fault_countdown.fetch_sub(1, std::memory_order_relaxed) ==
+        0) {
+      detail::g_fault_mode.store(3, std::memory_order_relaxed);
+      detail::g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      throw std::bad_alloc();
+    }
+    return;
+  }
+  // Probability mode: advance the shared xorshift stream atomically.
+  std::uint64_t x = detail::g_fault_rng.load(std::memory_order_relaxed);
+  std::uint64_t nxt;
+  do {
+    nxt = x;
+    nxt ^= nxt << 13;
+    nxt ^= nxt >> 7;
+    nxt ^= nxt << 17;
+  } while (!detail::g_fault_rng.compare_exchange_weak(
+      x, nxt, std::memory_order_relaxed));
+  if (nxt < detail::g_fault_threshold.load(std::memory_order_relaxed)) {
+    detail::g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+    throw std::bad_alloc();
+  }
+}
+
+// RAII arming of the injector; disarms (and clears any pending fault) on
+// scope exit. Only one instance may be live at a time.
+class scoped_alloc_faults {
+ public:
+  // Fail the nth tracked allocation from now (0-based: n == 0 fails the
+  // very next one). One-shot.
+  [[nodiscard]] static scoped_alloc_faults fail_nth(std::int64_t n) {
+    scoped_alloc_faults s;
+    detail::g_fault_countdown.store(n, std::memory_order_relaxed);
+    detail::g_fault_mode.store(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  // Fail each tracked allocation independently with probability p, drawn
+  // from a stream seeded with `seed` (deterministic given a serial
+  // allocation order, e.g. under the sequential/deterministic schedulers).
+  [[nodiscard]] static scoped_alloc_faults fail_with_probability(
+      std::uint64_t seed, double p) {
+    scoped_alloc_faults s;
+    detail::g_fault_rng.store(seed | 1, std::memory_order_relaxed);
+    detail::g_fault_threshold.store(
+        p >= 1.0 ? ~0ull
+                 : static_cast<std::uint64_t>(
+                       p * 18446744073709551616.0 /* 2^64 */),
+        std::memory_order_relaxed);
+    detail::g_fault_mode.store(2, std::memory_order_relaxed);
+    return s;
+  }
+
+  ~scoped_alloc_faults() {
+    if (owner_) detail::g_fault_mode.store(0, std::memory_order_relaxed);
+  }
+
+  scoped_alloc_faults(scoped_alloc_faults&& other) noexcept
+      : start_count_(other.start_count_), owner_(other.owner_) {
+    other.owner_ = false;
+  }
+  scoped_alloc_faults(const scoped_alloc_faults&) = delete;
+  scoped_alloc_faults& operator=(const scoped_alloc_faults&) = delete;
+  scoped_alloc_faults& operator=(scoped_alloc_faults&&) = delete;
+
+  // Faults delivered since this scope was armed.
+  [[nodiscard]] std::int64_t injected() const {
+    return faults_injected() - start_count_;
+  }
+
+ private:
+  scoped_alloc_faults() : start_count_(faults_injected()) {}
+
+  std::int64_t start_count_;
+  bool owner_ = true;
+};
+
+// Collects the first exception thrown across concurrently executing loop
+// bodies. The fault-tolerant construction paths (parray::tabulate,
+// to_array) catch inside the parallel lambda — an exception must never
+// unwind through a fork while a pushed job is pending, and must never
+// escape a stolen job on a pool thread — then rethrow on the calling
+// thread after the join.
+class first_exception {
+ public:
+  void capture() noexcept {
+    if (!claimed_.test_and_set(std::memory_order_acq_rel))
+      eptr_ = std::current_exception();
+  }
+
+  // Call after the parallel region has joined.
+  void rethrow_if_set() {
+    if (eptr_) std::rethrow_exception(eptr_);
+  }
+
+ private:
+  std::atomic_flag claimed_ = ATOMIC_FLAG_INIT;
+  std::exception_ptr eptr_;
 };
 
 }  // namespace pbds::memory

@@ -95,10 +95,9 @@ template <typename Seq>
 [[nodiscard]] auto to_array(const Seq& s) {
   auto r = as_seq(s);
   using T = typename decltype(r)::value_type;
-  auto out = parray<T>::uninitialized(r.n);
-  T* q = out.data();
-  parallel_for(0, r.n, [&, q](std::size_t i) { ::new (q + i) T(r[i]); });
-  return out;
+  // Route through tabulate so materialization inherits its exception
+  // tolerance under the allocation fault injector.
+  return parray<T>::tabulate(r.n, [&r](std::size_t i) -> T { return r[i]; });
 }
 
 // force: materialize, hand back an array-backed RAD.

@@ -1,0 +1,48 @@
+// Execution-policy seam for the fork-join primitives.
+//
+// fork2join / parallel_for / apply (parallel.hpp) dispatch on a per-thread
+// execution mode rather than talking to the work-stealing scheduler
+// directly. Three modes:
+//
+//   parallel      — the real Chase-Lev work-stealing pool (default).
+//   sequential    — plain depth-first execution on the calling thread;
+//                   no scheduler interaction at all.
+//   deterministic — single-thread simulation of fork-join under a seeded
+//                   PRNG that makes the steal-vs-inline and branch-ordering
+//                   decisions (see deterministic.hpp). Same seed => same
+//                   interleaving, so any schedule-dependent failure is
+//                   replayable from one integer.
+//
+// The mode is thread-local: a test switching the main thread into
+// deterministic mode does not perturb pool workers (which keep the default
+// parallel mode and simply find no work).
+#pragma once
+
+namespace pbds::sched {
+
+enum class exec_mode : unsigned char { parallel, sequential, deterministic };
+
+namespace detail {
+inline thread_local exec_mode tl_exec_mode = exec_mode::parallel;
+}  // namespace detail
+
+[[nodiscard]] inline exec_mode current_exec_mode() noexcept {
+  return detail::tl_exec_mode;
+}
+
+// RAII: run the enclosed region with plain depth-first sequential
+// execution (left branch, then right branch; loops in index order).
+class scoped_sequential {
+ public:
+  scoped_sequential() : saved_(detail::tl_exec_mode) {
+    detail::tl_exec_mode = exec_mode::sequential;
+  }
+  ~scoped_sequential() { detail::tl_exec_mode = saved_; }
+  scoped_sequential(const scoped_sequential&) = delete;
+  scoped_sequential& operator=(const scoped_sequential&) = delete;
+
+ private:
+  exec_mode saved_;
+};
+
+}  // namespace pbds::sched

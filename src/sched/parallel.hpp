@@ -7,15 +7,38 @@
 //                               (Fig. 7): a tabulate with no result, i.e.
 //                               f(i) for all 0 <= i < n in parallel. All of
 //                               the sequence libraries bottom out here.
+//
+// All three dispatch on the thread's execution mode (exec_policy.hpp):
+// `parallel` uses the work-stealing pool, `sequential` runs depth-first on
+// the calling thread, and `deterministic` replays a seeded single-thread
+// simulation of the scheduler (deterministic.hpp). The mode only changes
+// *how* the fork tree is executed — the tree itself (granularity, range
+// splits) is identical across modes for a given worker count, which is
+// what makes the differential test oracles (tests/differential.hpp)
+// meaningful.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <utility>
 
+#include "sched/deterministic.hpp"
+#include "sched/exec_policy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pbds {
+
+namespace sched {
+// Worker count that granularity decisions should assume: the simulated
+// count in deterministic mode, the real pool size otherwise. Keeping these
+// in sync (both default to PBDS_NUM_THREADS) makes a pipeline's range
+// partitioning identical across execution modes.
+[[nodiscard]] inline unsigned effective_num_workers() {
+  if (current_exec_mode() == exec_mode::deterministic)
+    return current_det_scheduler().num_workers();
+  return num_workers();
+}
+}  // namespace sched
 
 // Run `left` and `right` in parallel; return when both are complete.
 // The right branch is made stealable; the forking worker runs the left
@@ -23,6 +46,18 @@ namespace pbds {
 // steals other work while waiting for the thief to finish it.
 template <typename L, typename R>
 void fork2join(L&& left, R&& right) {
+  switch (sched::current_exec_mode()) {
+    case sched::exec_mode::sequential:
+      left();
+      right();
+      return;
+    case sched::exec_mode::deterministic:
+      sched::current_det_scheduler().fork(std::forward<L>(left),
+                                          std::forward<R>(right));
+      return;
+    case sched::exec_mode::parallel:
+      break;
+  }
   auto& s = sched::get_scheduler();
   if (s.num_workers() == 1 || sched::scheduler::worker_id() < 0) {
     // Sequential fast path; also the safe path for threads outside the pool.
@@ -70,12 +105,16 @@ template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, const F& f,
                   std::size_t granularity = 0) {
   if (lo >= hi) return;
+  if (sched::current_exec_mode() == sched::exec_mode::sequential) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
   std::size_t n = hi - lo;
   if (granularity == 0) {
     // Aim for ~8 chunks per worker, but never chunks so small that
     // scheduling dominates memory-bound per-element work.
     std::size_t target = n / (8 * static_cast<std::size_t>(
-                                      sched::num_workers()) +
+                                      sched::effective_num_workers()) +
                               1);
     granularity = target < 1 ? 1 : target;
     if (granularity > detail::kDefaultGranularity)

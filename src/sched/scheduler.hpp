@@ -157,6 +157,11 @@ inline std::unique_ptr<scheduler>& global_slot() {
   return slot;
 }
 
+// Worker-count policy shared by every execution backend: the deterministic
+// simulator (deterministic.hpp) seeds its *simulated* worker count from
+// this same function, so granularity decisions — and therefore a
+// pipeline's range partitioning — match the real pool for a given
+// PBDS_NUM_THREADS.
 inline unsigned default_num_workers() {
   if (const char* env = std::getenv("PBDS_NUM_THREADS")) {
     int v = std::atoi(env);

@@ -1,0 +1,220 @@
+// Differential oracle harness.
+//
+// The paper's central claim is *semantic transparency*: the delayed
+// libraries (rad, delay) must be element-exact drop-in replacements for
+// the eager array baseline, under ANY schedule the work-stealing pool can
+// produce, while never using more space. This harness turns that claim
+// into an executable oracle:
+//
+//   for each kernel/pipeline case:
+//     for each backend in {array, rad, delay}:
+//       for each mode in {sequential, deterministic(seed sweep), real}:
+//         digest(run) == digest(reference)          (element-exact)
+//     delayed peak residency <= array peak residency (space invariant)
+//     same seed twice => identical trace + digest    (replayable)
+//
+// Every deterministic-mode assertion is wrapped in a SCOPED_TRACE carrying
+// the seed, so a gtest failure prints the integer needed to replay it:
+//
+//   ./build/tests/test_differential --seed 12345
+//
+// (or PBDS_SEED=12345) collapses all seed sweeps to that one seed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchmarks/policies.hpp"
+#include "memory/tracking.hpp"
+#include "sched/deterministic.hpp"
+#include "sched/exec_policy.hpp"
+#include "sched/parallel.hpp"
+
+namespace pbds::testing {
+
+// --- digests ----------------------------------------------------------------
+
+// A flat, exactly-comparable summary of a kernel's output. double carries
+// every value the kernels produce (indices and counters stay below 2^53),
+// and element-exact agreement across backends is the paper's determinism
+// claim: identical blocking => identical combination trees => identical
+// bits, even for floating-point scans.
+using digest = std::vector<double>;
+
+inline void put(digest& d, double v) { d.push_back(v); }
+
+template <typename Seq>
+void put_all(digest& d, const Seq& xs) {
+  for (const auto& x : xs) d.push_back(static_cast<double>(x));
+}
+
+// First-mismatch reporting; EXPECT (not ASSERT) so a sweep keeps going and
+// reports every offending (backend, mode, seed) combination.
+inline void expect_digest_eq(const digest& got, const digest& want,
+                             const std::string& label) {
+  EXPECT_EQ(got.size(), want.size()) << label;
+  std::size_t n = got.size() < want.size() ? got.size() : want.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (got[i] != want[i]) {
+      EXPECT_EQ(got[i], want[i]) << label << " first mismatch at index " << i;
+      return;
+    }
+  }
+}
+
+// --- seed selection ---------------------------------------------------------
+
+// Set from --seed / PBDS_SEED (see test_differential's main); when set,
+// every sweep collapses to exactly this seed for failure replay.
+inline std::optional<std::uint64_t>& replay_seed() {
+  static std::optional<std::uint64_t> s = [] {
+    std::optional<std::uint64_t> v;
+    if (const char* env = std::getenv("PBDS_SEED"))
+      v = std::strtoull(env, nullptr, 0);
+    return v;
+  }();
+  return s;
+}
+
+inline std::vector<std::uint64_t> sweep_seeds(std::size_t count) {
+  if (replay_seed().has_value()) return {*replay_seed()};
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    seeds.push_back(0x5eed + i);  // arbitrary but stable across runs
+  return seeds;
+}
+
+// SCOPED_TRACE wrapper naming the failing seed and how to replay it. Must
+// be a macro so the trace points at the caller's line.
+#define PBDS_SEED_TRACE(seed)                                         \
+  SCOPED_TRACE(::testing::Message()                                   \
+               << "det seed=" << (seed) << "  [replay: test binary "  \
+               << "--seed " << (seed) << " or PBDS_SEED=" << (seed) << "]")
+
+// --- cases ------------------------------------------------------------------
+
+enum backend { kArray = 0, kRad = 1, kDelay = 2 };
+inline constexpr const char* kBackendNames[3] = {"array", "rad", "delay"};
+
+// One differential case: the same computation instantiated under each of
+// the three library policies, returning a digest. Inputs are built inside
+// the closure on every run, so each run is self-contained and the space
+// meter sees the whole computation.
+struct diff_case {
+  std::string name;
+  std::function<digest()> run[3];
+};
+
+// K is a C++20 template lambda: []<typename P>() -> digest { ... }.
+template <typename K>
+diff_case make_diff_case(std::string name, K kernel) {
+  diff_case c;
+  c.name = std::move(name);
+  c.run[kArray] = [kernel] {
+    return kernel.template operator()<pbds::array_policy>();
+  };
+  c.run[kRad] = [kernel] {
+    return kernel.template operator()<pbds::rad_policy>();
+  };
+  c.run[kDelay] = [kernel] {
+    return kernel.template operator()<pbds::delay_policy>();
+  };
+  return c;
+}
+
+// --- the oracles ------------------------------------------------------------
+
+// Element-exact agreement of every backend under every execution mode with
+// the reference (array backend, sequential execution).
+inline void expect_backends_agree(const diff_case& c,
+                                  const std::vector<std::uint64_t>& seeds,
+                                  unsigned det_workers = 4) {
+  digest ref;
+  {
+    sched::scoped_sequential g;
+    ref = c.run[kArray]();
+  }
+  for (int b = 0; b < 3; ++b) {
+    std::string base = c.name + " backend=" + kBackendNames[b];
+    {
+      sched::scoped_sequential g;
+      expect_digest_eq(c.run[b](), ref, base + " mode=sequential");
+    }
+    for (std::uint64_t seed : seeds) {
+      PBDS_SEED_TRACE(seed);
+      sched::scoped_deterministic g(seed, det_workers);
+      expect_digest_eq(c.run[b](), ref,
+                       base + " mode=deterministic seed=" +
+                           std::to_string(seed));
+    }
+    expect_digest_eq(c.run[b](), ref, base + " mode=real-scheduler");
+  }
+}
+
+// The paper's space claim as an oracle: running the fused (delay) version
+// must never have a higher peak residency than the eager array version.
+// Measured sequentially so the peak is schedule-independent.
+//
+// The claim is asymptotic — block-delayed sequences carry O(n/B + 1) bytes
+// of block metadata (piece offsets, scan partials) that the eager version
+// does not, so at the small n these tests run, a fused pipeline can sit a
+// few hundred bytes above the array peak while still eliminating every
+// O(n) intermediate. `slack_bytes` (default: one 4 KiB page) absorbs that
+// metadata; a regression that materializes even one extra n-sized array
+// overshoots it by an order of magnitude at these sizes.
+inline void expect_space_invariant(const diff_case& c,
+                                   std::int64_t slack_bytes = 4096) {
+  sched::scoped_sequential g;
+  memory::space_meter ma;
+  digest da = c.run[kArray]();
+  std::int64_t array_peak = ma.peak_delta_bytes();
+  memory::space_meter md;
+  digest dd = c.run[kDelay]();
+  std::int64_t delay_peak = md.peak_delta_bytes();
+  EXPECT_LE(delay_peak, array_peak + slack_bytes)
+      << c.name << ": delayed peak " << delay_peak
+      << " bytes exceeds array peak " << array_peak << " bytes (+ "
+      << slack_bytes << " metadata slack)";
+  expect_digest_eq(dd, da, c.name + " (space-run digests)");
+}
+
+// Replay oracle: the same seed must reproduce the same interleaving trace
+// (hash + decision count) and the same digest, for every backend.
+inline void expect_seed_replay(const diff_case& c,
+                               const std::vector<std::uint64_t>& seeds,
+                               unsigned det_workers = 4) {
+  for (int b = 0; b < 3; ++b) {
+    for (std::uint64_t seed : seeds) {
+      PBDS_SEED_TRACE(seed);
+      std::uint64_t hash1, hash2;
+      std::size_t forks1, forks2;
+      digest d1, d2;
+      {
+        sched::scoped_deterministic g(seed, det_workers);
+        d1 = c.run[b]();
+        hash1 = g.scheduler().trace_hash();
+        forks1 = g.scheduler().num_forks();
+      }
+      {
+        sched::scoped_deterministic g(seed, det_workers);
+        d2 = c.run[b]();
+        hash2 = g.scheduler().trace_hash();
+        forks2 = g.scheduler().num_forks();
+      }
+      std::string label = c.name + " backend=" + kBackendNames[b] +
+                          " seed=" + std::to_string(seed);
+      EXPECT_EQ(hash1, hash2) << label << " trace hash diverged on replay";
+      EXPECT_EQ(forks1, forks2) << label << " fork count diverged on replay";
+      expect_digest_eq(d2, d1, label + " (replay digests)");
+    }
+  }
+}
+
+}  // namespace pbds::testing

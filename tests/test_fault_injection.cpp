@@ -1,0 +1,210 @@
+// Allocation fault injector + exception safety of the library pipelines.
+//
+// The invariant under test: an allocation failure anywhere inside
+// scan / filter / filter_op / flatten — scan partials, filter pack
+// buffers, flatten offset arrays, output buffers — propagates out as
+// std::bad_alloc and leaks nothing: bytes_live returns exactly to its
+// pre-call baseline once the in-scope inputs are destroyed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "array/parray.hpp"
+#include "benchmarks/policies.hpp"
+#include "memory/counting_allocator.hpp"
+#include "memory/tracking.hpp"
+#include "sched/deterministic.hpp"
+#include "sched/exec_policy.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+// --- the injector itself -----------------------------------------------------
+
+TEST(FaultInjection, FailsExactlyTheNthAllocation) {
+  sched::scoped_sequential seq;
+  for (std::int64_t nth = 0; nth < 4; ++nth) {
+    auto faults = memory::scoped_alloc_faults::fail_nth(nth);
+    std::int64_t succeeded = 0;
+    try {
+      for (int i = 0; i < 8; ++i) {
+        auto a = parray<int>::uninitialized(4);  // exactly one allocation
+        ++succeeded;
+      }
+      FAIL() << "no fault delivered for nth=" << nth;
+    } catch (const std::bad_alloc&) {
+      EXPECT_EQ(succeeded, nth);  // 0-based: nth allocations succeed first
+    }
+    EXPECT_EQ(faults.injected(), 1);
+    // One-shot: the injector stays armed but delivers no second fault.
+    EXPECT_TRUE(memory::fault_injection_armed());
+    auto b = parray<int>::uninitialized(4);
+    EXPECT_EQ(faults.injected(), 1);
+  }
+  EXPECT_FALSE(memory::fault_injection_armed());  // disarmed on scope exit
+}
+
+TEST(FaultInjection, CountersUntouchedByInjectedFailure) {
+  sched::scoped_sequential seq;
+  std::int64_t live = memory::bytes_live();
+  std::int64_t allocs = memory::num_allocs();
+  auto faults = memory::scoped_alloc_faults::fail_nth(0);
+  EXPECT_THROW((void)parray<int>::uninitialized(64), std::bad_alloc);
+  EXPECT_EQ(memory::bytes_live(), live);
+  EXPECT_EQ(memory::num_allocs(), allocs);
+}
+
+TEST(FaultInjection, ArmedButNeverFiringLeavesResultsIntact) {
+  sched::scoped_sequential seq;
+  auto faults = memory::scoped_alloc_faults::fail_nth(1'000'000);
+  // The guarded (armed) construction paths must still compute the same
+  // values as the fast path.
+  auto a = parray<std::int64_t>::tabulate(
+      2000, [](std::size_t i) { return static_cast<std::int64_t>(i); });
+  std::int64_t sum = std::accumulate(a.begin(), a.end(), std::int64_t{0});
+  EXPECT_EQ(sum, 1999LL * 2000 / 2);
+  EXPECT_EQ(faults.injected(), 0);
+}
+
+// --- pipelines under injected failures --------------------------------------
+
+// A pipeline hitting every allocating operation: filter (pack buffers +
+// concat), scan (block sums, partials, output), to_array.
+template <typename P>
+std::int64_t filter_scan_pipeline() {
+  auto input = parray<std::int64_t>::tabulate(
+      3000, [](std::size_t i) { return static_cast<std::int64_t>((i * 11) % 64); });
+  auto evens =
+      P::filter([](std::int64_t x) { return (x & 1) == 0; }, P::view(input));
+  auto [pre, tot] = P::scan(
+      [](std::int64_t a, std::int64_t b) { return a + b; }, std::int64_t{0},
+      evens);
+  auto arr = P::to_array(std::move(pre));
+  std::int64_t acc = tot;
+  for (auto v : arr) acc += v;
+  return acc;
+}
+
+// flatten + filter_op, exercising the ragged-piece offset/copy machinery.
+template <typename P>
+std::int64_t flatten_pipeline() {
+  using buf = memory::tracked_vector<std::int64_t>;
+  auto nested = parray<buf>::tabulate(100, [](std::size_t i) {
+    buf v;
+    for (std::size_t j = 0; j < i % 9; ++j)
+      v.push_back(static_cast<std::int64_t>(i + j));
+    return v;
+  });
+  auto flat = P::flatten(nested);
+  auto picked = P::filter_op(
+      [](std::int64_t x) -> std::optional<std::int64_t> {
+        if (x % 3 == 0) return x * 2;
+        return std::nullopt;
+      },
+      flat);
+  auto arr = P::to_array(std::move(picked));
+  std::int64_t acc = 0;
+  for (auto v : arr) acc += v;
+  return acc;
+}
+
+// Run `pipeline` under fail_nth for EVERY allocation index the fault-free
+// run performs, asserting bad_alloc-or-success and zero leaked bytes.
+template <typename Pipeline>
+void sweep_every_allocation(Pipeline pipeline, std::int64_t expected) {
+  std::int64_t baseline = memory::bytes_live();
+  std::int64_t total_allocs;
+  {
+    memory::space_meter m;
+    ASSERT_EQ(pipeline(), expected);
+    total_allocs = m.alloc_count();
+  }
+  ASSERT_GT(total_allocs, 0);
+  std::int64_t faulted = 0;
+  for (std::int64_t nth = 0; nth < total_allocs; ++nth) {
+    auto faults = memory::scoped_alloc_faults::fail_nth(nth);
+    try {
+      // The armed guarded paths may allocate in a different pattern than
+      // the fault-free probe, so late nth values can complete cleanly;
+      // completed runs must still produce the right answer.
+      EXPECT_EQ(pipeline(), expected) << "nth=" << nth;
+    } catch (const std::bad_alloc&) {
+      ++faulted;
+    }
+    EXPECT_EQ(memory::bytes_live(), baseline)
+        << "leak after injected fault at allocation " << nth;
+  }
+  EXPECT_GT(faulted, 0);
+}
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeSequential_Array) {
+  sched::scoped_sequential seq;
+  sweep_every_allocation([] { return filter_scan_pipeline<array_policy>(); },
+                         filter_scan_pipeline<array_policy>());
+}
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeSequential_Rad) {
+  sched::scoped_sequential seq;
+  sweep_every_allocation([] { return filter_scan_pipeline<rad_policy>(); },
+                         filter_scan_pipeline<rad_policy>());
+}
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeSequential_Delay) {
+  sched::scoped_sequential seq;
+  sweep_every_allocation([] { return filter_scan_pipeline<delay_policy>(); },
+                         filter_scan_pipeline<delay_policy>());
+}
+
+TEST(FaultInjection, FlattenPipelineLeakFreeSequential_Array) {
+  sched::scoped_sequential seq;
+  sweep_every_allocation([] { return flatten_pipeline<array_policy>(); },
+                         flatten_pipeline<array_policy>());
+}
+
+TEST(FaultInjection, FlattenPipelineLeakFreeSequential_Delay) {
+  sched::scoped_sequential seq;
+  sweep_every_allocation([] { return flatten_pipeline<delay_policy>(); },
+                         flatten_pipeline<delay_policy>());
+}
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeDeterministic) {
+  std::int64_t expected;
+  {
+    sched::scoped_sequential seq;
+    expected = filter_scan_pipeline<delay_policy>();
+  }
+  // Under the deterministic scheduler the fork tree interleaves, so the
+  // failing allocation lands in different operations per seed.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    sched::scoped_deterministic det(seed, 4);
+    sweep_every_allocation([] { return filter_scan_pipeline<delay_policy>(); },
+                           expected);
+  }
+}
+
+TEST(FaultInjection, ProbabilityModeLeakFreeAcrossSeeds) {
+  sched::scoped_sequential seq;
+  std::int64_t expected = filter_scan_pipeline<delay_policy>();
+  std::int64_t baseline = memory::bytes_live();
+  std::int64_t faulted_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    auto faults =
+        memory::scoped_alloc_faults::fail_with_probability(seed, 0.05);
+    try {
+      EXPECT_EQ(filter_scan_pipeline<delay_policy>(), expected)
+          << "seed=" << seed;
+    } catch (const std::bad_alloc&) {
+      ++faulted_runs;
+    }
+    EXPECT_EQ(memory::bytes_live(), baseline) << "leak with seed " << seed;
+  }
+  // With ~dozens of allocations per run at p=0.05, some runs must fault.
+  EXPECT_GT(faulted_runs, 0);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// parallel_for / fork2join edge cases, across execution modes:
+// empty and single-element ranges, ranges exactly at / one past the
+// granularity boundary, and nested parallelism entered from a thread that
+// is not part of the worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sched/deterministic.hpp"
+#include "sched/exec_policy.hpp"
+#include "sched/parallel.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace pbds;  // NOLINT
+
+// Run `body` under each execution mode; det mode uses a fixed seed.
+template <typename F>
+void for_each_mode(F body) {
+  {
+    SCOPED_TRACE("mode=sequential");
+    sched::scoped_sequential g;
+    body();
+  }
+  {
+    SCOPED_TRACE("mode=deterministic");
+    sched::scoped_deterministic g(21, 4);
+    body();
+  }
+  {
+    SCOPED_TRACE("mode=parallel");
+    body();
+  }
+}
+
+TEST(ParallelForEdges, EmptyRangeNeverInvokesBody) {
+  for_each_mode([] {
+    std::atomic<int> calls{0};
+    parallel_for(5, 5, [&](std::size_t) { ++calls; });
+    parallel_for(7, 3, [&](std::size_t) { ++calls; });  // hi < lo
+    apply(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+  });
+}
+
+TEST(ParallelForEdges, SingleElementRange) {
+  for_each_mode([] {
+    std::atomic<int> calls{0};
+    std::atomic<std::size_t> seen{~std::size_t{0}};
+    parallel_for(41, 42, [&](std::size_t i) {
+      ++calls;
+      seen = i;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen.load(), 41u);
+    apply(1, [&](std::size_t i) { EXPECT_EQ(i, 0u); });
+  });
+}
+
+TEST(ParallelForEdges, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10'000;
+  for_each_mode([] {
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  });
+}
+
+TEST(ParallelForEdges, RangeExactlyAtGranularityDoesNotFork) {
+  // n == granularity runs as one sequential leaf; n == granularity + 1
+  // must split. The deterministic trace makes fork counts observable.
+  constexpr std::size_t kG = 64;
+  {
+    sched::scoped_deterministic g(1, 4);
+    parallel_for(0, kG, [](std::size_t) {}, kG);
+    EXPECT_EQ(g.scheduler().num_forks(), 0u);
+  }
+  {
+    sched::scoped_deterministic g(1, 4);
+    parallel_for(0, kG + 1, [](std::size_t) {}, kG);
+    EXPECT_GE(g.scheduler().num_forks(), 1u);
+  }
+}
+
+TEST(ParallelForEdges, GranularityBoundaryStillCoversRange) {
+  constexpr std::size_t kG = 64;
+  for (std::size_t n : {kG - 1, kG, kG + 1, 2 * kG, 2 * kG + 1}) {
+    for_each_mode([n] {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for(0, n, [&](std::size_t i) { hits[i]++; }, kG);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " index " << i;
+    });
+  }
+}
+
+TEST(ParallelForEdges, NestedParallelForInsideFork2Join) {
+  for_each_mode([] {
+    constexpr std::size_t kN = 2000;
+    std::vector<std::atomic<int>> left(kN), right(kN);
+    fork2join(
+        [&] { parallel_for(0, kN, [&](std::size_t i) { left[i]++; }); },
+        [&] { parallel_for(0, kN, [&](std::size_t i) { right[i]++; }); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(left[i].load(), 1) << i;
+      ASSERT_EQ(right[i].load(), 1) << i;
+    }
+  });
+}
+
+TEST(ParallelForEdges, NonPoolThreadRunsNestedParallelismSafely) {
+  // A thread that is not a pool worker (worker_id() < 0) must fall back to
+  // the safe sequential path for fork2join — including nested
+  // parallel_for inside the branches — and still cover every index.
+  (void)sched::get_scheduler();  // pool up before the foreign thread starts
+  constexpr std::size_t kN = 4000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<bool> ok{true};
+  std::thread outsider([&] {
+    if (sched::scheduler::worker_id() >= 0) {
+      ok = false;  // precondition: this thread is not in the pool
+      return;
+    }
+    fork2join(
+        [&] { parallel_for(0, kN / 2, [&](std::size_t i) { hits[i]++; }); },
+        [&] {
+          parallel_for(kN / 2, kN, [&](std::size_t i) { hits[i]++; });
+        });
+  });
+  outsider.join();
+  EXPECT_TRUE(ok.load());
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForEdges, ApplyUsesGranularityOne) {
+  // apply(n, f) treats each index as a block-sized task: under the
+  // deterministic scheduler an n-leaf apply forks n - 1 times.
+  sched::scoped_deterministic g(5, 4);
+  apply(9, [](std::size_t) {});
+  EXPECT_EQ(g.scheduler().num_forks(), 8u);
+}
+
+}  // namespace
