@@ -53,25 +53,41 @@ class parray {
 
   // Parallel tabulation: element i is f(i). `granularity` as parallel_for.
   //
-  // When the allocation fault injector is armed (and T can be
-  // default-constructed as a placeholder), construction is exception
-  // tolerant: a throw from f or from T's constructor — e.g. an injected
-  // bad_alloc while a filter block grows its pack buffer — is captured
-  // inside the loop body (it must not unwind through a fork), the slot is
-  // default-constructed so every element has a destructible value, and the
-  // first exception is rethrown on the calling thread after the join. The
-  // returned-by-exception parray then destroys all n elements normally and
-  // nothing leaks. The injector-off fast path is unchanged.
+  // Construction is exception tolerant whenever T can be nothrow
+  // default-constructed as a placeholder AND either the allocation fault
+  // injector is armed or T has a real destructor: a throw from f or from
+  // T's constructor — e.g. an injected bad_alloc while a filter block
+  // grows its pack buffer — is captured inside the loop body (it must not
+  // unwind through a fork), the slot is default-constructed so every
+  // element has a destructible value, and the first exception is rethrown
+  // on the calling thread after the join. The returned-by-exception parray
+  // then destroys all n elements normally and nothing leaks.
+  //
+  // The guarded loop runs under a cancel_shield: the region-level bail-out
+  // (parallel.hpp) skips whole chunks, which would leave slots
+  // unconstructed behind the exception. Instead the loop is its own
+  // cancellation domain — once `err` triggers, remaining bodies skip the
+  // expensive f(i) and fill cheap placeholders.
+  //
+  // For trivially destructible T the injector-off fast path is unchanged:
+  // on a throw the skipped/garbage slots need no destruction and release()
+  // still frees the buffer, so nothing leaks there either.
   template <typename F>
   static parray tabulate(std::size_t n, F&& f, std::size_t granularity = 0) {
     parray a(n);
     T* p = a.data_;
     if constexpr (std::is_nothrow_default_constructible_v<T>) {
-      if (memory::fault_injection_armed()) {
+      if (!std::is_trivially_destructible_v<T> ||
+          memory::fault_injection_armed()) {
+        sched::cancel_shield shield;
         memory::first_exception err;
         parallel_for(
             0, n,
             [&, p](std::size_t i) {
+              if (err.triggered()) {
+                ::new (p + i) T();
+                return;
+              }
               try {
                 ::new (p + i) T(f(i));
               } catch (...) {
@@ -133,6 +149,10 @@ class parray {
   void release() noexcept {
     if (data_ == nullptr) return;
     if constexpr (!std::is_trivially_destructible_v<T>) {
+      // Shielded: this often runs while an exception unwinds through a
+      // cancelled region, and a chunk skipped by the bail-out would leak
+      // the elements it never destroyed.
+      sched::cancel_shield shield;
       T* p = data_;
       parallel_for(0, n_, [p](std::size_t i) { p[i].~T(); });
     }

@@ -166,12 +166,16 @@ void apply_each(const Seq& s, const G& g) {
 // zipping with an index RAD as in the figure, each block writes at its own
 // offset — the same traversal without manufacturing index pairs.
 //
-// Under the allocation fault injector the traversal is exception tolerant
-// (same discipline as parray::tabulate): a throw from the block function
-// or an element evaluation is captured inside the block body, the
-// remaining slots of the block are default-constructed so the returned
-// array is uniformly destructible, and the first exception is rethrown
-// after the join — so an injected bad_alloc propagates without leaking.
+// The traversal is exception tolerant under the same gate and discipline
+// as parray::tabulate (fault injector armed, or T has a real destructor):
+// a throw from the block function or an element evaluation is captured
+// inside the block body, the remaining slots of the block are
+// default-constructed so the returned array is uniformly destructible,
+// and the first exception is rethrown after the join — so a bad_alloc
+// (injected or real) propagates without leaking. The guarded loop runs
+// under a cancel_shield — the region-level bail-out would skip whole
+// blocks and leave slots unconstructed — and once `err` triggers,
+// remaining blocks skip stream evaluation and fill placeholders instead.
 template <typename Seq>
 [[nodiscard]] auto to_array(const Seq& s) {
   using T = typename std::decay_t<decltype(as_seq(s))>::value_type;
@@ -179,19 +183,23 @@ template <typename Seq>
   auto out = parray<T>::uninitialized(bd.n);
   T* q = out.data();
   if constexpr (std::is_nothrow_default_constructible_v<T>) {
-    if (memory::fault_injection_armed()) {
+    if (!std::is_trivially_destructible_v<T> ||
+        memory::fault_injection_armed()) {
+      sched::cancel_shield shield;
       memory::first_exception err;
       apply(bd.num_blocks(), [&, q](std::size_t j) {
         std::size_t base = j * bd.block_size;
         std::size_t len = bd.block_length(j);
         std::size_t k = 0;
-        try {
-          auto st = bd.block(j);
-          for (; k < len; ++k) ::new (q + base + k) T(st.next());
-        } catch (...) {
-          err.capture();
-          for (; k < len; ++k) ::new (q + base + k) T();
+        if (!err.triggered()) {
+          try {
+            auto st = bd.block(j);
+            for (; k < len; ++k) ::new (q + base + k) T(st.next());
+          } catch (...) {
+            err.capture();
+          }
         }
+        for (; k < len; ++k) ::new (q + base + k) T();
       });
       err.rethrow_if_set();
       return out;

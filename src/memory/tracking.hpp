@@ -236,12 +236,23 @@ class scoped_alloc_faults {
 // to_array) catch inside the parallel lambda — an exception must never
 // unwind through a fork while a pushed job is pending, and must never
 // escape a stolen job on a pool thread — then rethrow on the calling
-// thread after the join.
+// thread after the join. Construction loops run under a
+// sched::cancel_shield (the region-level bail-out would skip chunks and
+// leave slots unconstructed), so `triggered` is their private cancellation
+// signal: once set, remaining bodies stop calling the real element
+// producer and just fill cheap placeholders.
 class first_exception {
  public:
   void capture() noexcept {
-    if (!claimed_.test_and_set(std::memory_order_acq_rel))
+    if (!claimed_.exchange(true, std::memory_order_acq_rel))
       eptr_ = std::current_exception();
+    triggered_.store(true, std::memory_order_release);
+  }
+
+  // Polled from loop bodies on any worker; relaxed — a stale `false` only
+  // costs one more real element evaluation.
+  [[nodiscard]] bool triggered() const noexcept {
+    return triggered_.load(std::memory_order_relaxed);
   }
 
   // Call after the parallel region has joined.
@@ -250,7 +261,8 @@ class first_exception {
   }
 
  private:
-  std::atomic_flag claimed_ = ATOMIC_FLAG_INIT;
+  std::atomic<bool> claimed_{false};
+  std::atomic<bool> triggered_{false};
   std::exception_ptr eptr_;
 };
 

@@ -96,7 +96,10 @@ template <typename Seq>
   auto r = as_seq(s);
   using T = typename decltype(r)::value_type;
   // Route through tabulate so materialization inherits its exception
-  // tolerance under the allocation fault injector.
+  // tolerance: an injected or real bad_alloc (or a throwing index
+  // function) is captured per slot, never unwinds through a fork, and is
+  // rethrown leak-free on the calling thread (see parray::tabulate and
+  // DESIGN.md §"Failure semantics").
   return parray<T>::tabulate(r.n, [&r](std::size_t i) -> T { return r[i]; });
 }
 

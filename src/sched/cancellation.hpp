@@ -1,0 +1,131 @@
+// Cooperative cancellation + first-exception-wins capture for fork-join.
+//
+// Failure model (see DESIGN.md §"Failure semantics"): every fork-join
+// computation runs under one `cancel_state`, installed thread-locally by
+// the *root* fork (the outermost fork2join / parallel_for of the region)
+// and carried into stolen jobs by the scheduler, so all workers touching
+// the region share it. When any branch throws:
+//
+//   1. the exception is captured (never unwinds past a stealable job or
+//      off a worker's stack) and the state flips to `cancelled`;
+//   2. sibling/descendant work observes `cancelled` and bails out cheaply
+//      — fork2join skips both branches at entry, a pending job skips its
+//      payload when executed, and parallel_for skips whole granularity
+//      chunks — while every join still completes, so the pool is
+//      quiescent when control returns to the root;
+//   3. the root rethrows the *first* captured exception, exactly once, on
+//      the calling thread. Later exceptions from already-running branches
+//      are captured and dropped (they are secondary failures of a
+//      computation whose result is already dead).
+//
+// `cancel_shield` opts a subtree *out* of an enclosing region's
+// cancellation: loops that must visit every index even while unwinding —
+// placeholder construction in parray::tabulate / delayed::to_array, the
+// destructor sweep in parray::release — run shielded, otherwise a skipped
+// chunk would leave elements unconstructed (or undestroyed) behind the
+// exception.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <utility>
+
+namespace pbds::sched {
+
+class cancel_state {
+ public:
+  cancel_state() noexcept = default;
+  cancel_state(const cancel_state&) = delete;
+  cancel_state& operator=(const cancel_state&) = delete;
+
+  // Polled from arbitrary workers at fork/chunk boundaries; relaxed is
+  // fine — a stale `false` only delays the bail-out by one chunk.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Record a thrown exception and request cancellation. The first caller
+  // wins the `first_` slot; all callers flip `cancelled`. Safe to call
+  // concurrently from any worker.
+  void capture(std::exception_ptr e) noexcept {
+    if (!claimed_.exchange(true, std::memory_order_acq_rel))
+      first_ = std::move(e);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  // Rethrow the winning exception. Call only after the region has fully
+  // joined (the join edges make `first_` visible to the root thread).
+  void rethrow_first() {
+    assert(cancelled() && "rethrow_first on a region that never failed");
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  std::atomic<bool> claimed_{false};
+  std::atomic<bool> cancelled_{false};
+  std::exception_ptr first_;
+};
+
+namespace detail {
+// The cancel state of the fork-join region the current thread is working
+// in; null outside any region (and inside a cancel_shield). Workers
+// executing a stolen job adopt the job's state for the duration
+// (job::execute), so the pointer follows the *computation*, not the
+// thread.
+inline thread_local cancel_state* tl_cancel = nullptr;
+}  // namespace detail
+
+[[nodiscard]] inline cancel_state* current_cancel() noexcept {
+  return detail::tl_cancel;
+}
+
+// True iff the current thread works for a region whose failure has been
+// recorded — the signal to bail at the next fork or chunk boundary.
+[[nodiscard]] inline bool cancellation_requested() noexcept {
+  return detail::tl_cancel != nullptr && detail::tl_cancel->cancelled();
+}
+
+// Installed by every fork site. The outermost one on a thread (no region
+// active) becomes the *root*: it owns the region's cancel_state and is
+// where the first exception is rethrown. Nested scopes are no-ops that
+// just hand back the enclosing state.
+class cancel_scope {
+ public:
+  cancel_scope() noexcept : root_(detail::tl_cancel == nullptr) {
+    if (root_) detail::tl_cancel = &local_;
+  }
+
+  ~cancel_scope() {
+    if (root_) detail::tl_cancel = nullptr;
+  }
+
+  cancel_scope(const cancel_scope&) = delete;
+  cancel_scope& operator=(const cancel_scope&) = delete;
+
+  [[nodiscard]] bool is_root() const noexcept { return root_; }
+  [[nodiscard]] cancel_state* state() noexcept { return detail::tl_cancel; }
+
+ private:
+  cancel_state local_;  // used only when this scope is the root
+  bool root_;
+};
+
+// Suppress cancellation for a lexical region: forks below run as fresh
+// root regions of their own. Used by must-complete loops (element
+// destruction, placeholder construction) whose bodies are noexcept or
+// self-catching — skipping their chunks would corrupt object lifetimes.
+class cancel_shield {
+ public:
+  cancel_shield() noexcept : saved_(detail::tl_cancel) {
+    detail::tl_cancel = nullptr;
+  }
+  ~cancel_shield() { detail::tl_cancel = saved_; }
+  cancel_shield(const cancel_shield&) = delete;
+  cancel_shield& operator=(const cancel_shield&) = delete;
+
+ private:
+  cancel_state* saved_;
+};
+
+}  // namespace pbds::sched

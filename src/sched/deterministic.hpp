@@ -25,14 +25,23 @@
 // so a pipeline's range partitioning — and therefore its fork tree — is
 // identical to a real run with the same PBDS_NUM_THREADS (deterministic.hpp
 // defaults to the same environment handling as scheduler.hpp).
+//
+// Failure mirror: fork() reproduces the real pool's exception protocol —
+// capture into the region's cancel_state, cheap bail-out of cancelled
+// forks and payload-skipped pending jobs, first-exception-wins rethrow at
+// the root — with every decision driven by the seed, so cancellation
+// interleavings (which branch fails, which siblings got skipped) replay
+// exactly via --seed / PBDS_SEED (docs/TESTING.md).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <vector>
 
+#include "sched/cancellation.hpp"
 #include "sched/exec_policy.hpp"
 #include "sched/job.hpp"
 #include "sched/scheduler.hpp"
@@ -71,16 +80,32 @@ class det_scheduler {
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] unsigned num_workers() const noexcept { return num_workers_; }
 
-  // Simulate fork2join(left, right).
+  // Simulate fork2join(left, right), mirroring the real pool's failure
+  // protocol: same cancel_scope root/interior structure, same cheap bail
+  // at fork entry, same first-exception-wins rethrow at the root. Because
+  // all decisions (including which branch fails first and which pending
+  // jobs get payload-skipped) come from the seed, a cancellation
+  // interleaving replays exactly from one integer.
   template <typename L, typename R>
   void fork(L&& left, R&& right) {
-    if (next_u64() & 1) {
-      record(event::fork_swap);
-      fork_impl(right, left);
-    } else {
-      record(event::fork_keep);
-      fork_impl(left, right);
+    cancel_scope scope;
+    cancel_state* cs = scope.state();
+    if (!scope.is_root() && cs->cancelled()) return;  // bail: sibling failed
+    try {
+      if (next_u64() & 1) {
+        record(event::fork_swap);
+        fork_impl(right, left, cs);
+      } else {
+        record(event::fork_keep);
+        fork_impl(left, right, cs);
+      }
+    } catch (...) {
+      // Interior exceptions keep unwinding toward the root; the root
+      // swallows the local one (already captured in cs) and substitutes
+      // the region's first below.
+      if (!scope.is_root()) throw;
     }
+    if (scope.is_root() && cs->cancelled()) cs->rethrow_first();
   }
 
   // --- interleaving trace ----------------------------------------------------
@@ -104,28 +129,31 @@ class det_scheduler {
 
  private:
   template <typename A, typename B>
-  void fork_impl(A& first, B& second) {
+  void fork_impl(A& first, B& second, cancel_state* cs) {
     ++forks_;
-    callable_job<B> pending(second);
+    callable_job<B> pending(second, cs);
     pending_.push_back(&pending);
+    std::exception_ptr first_err;
     try {
       maybe_steal();
       first();
     } catch (...) {
-      // `first` (or a job stolen inside it) threw: the branches pushed by
-      // frames below us have already been cleaned up by their own handlers,
-      // so if our job is still pending it is at the back. Remove it before
-      // the frame (and the job) disappears.
-      if (!pending_.empty() && pending_.back() == &pending)
-        pending_.pop_back();
-      throw;
+      // Same discipline as the real fork2join: never unwind while our
+      // pending job is unresolved. Capture, cancel the region, and fall
+      // through to the join below (execute() then skips the payload).
+      first_err = std::current_exception();
+      cs->capture(first_err);
     }
     if (!pending.finished()) {
+      // Frames below us resolved their own pending jobs before returning
+      // or rethrowing, so if ours was not stolen it is at the back.
       assert(!pending_.empty() && pending_.back() == &pending);
       pending_.pop_back();
       record(event::inline_join);
-      pending.execute();
+      pending.execute();  // captures its own throw; skipped if cancelled
     }
+    if (first_err) std::rethrow_exception(first_err);
+    if (auto e = pending.exception()) std::rethrow_exception(e);
   }
 
   // With seeded probability, run the oldest pending job(s) to completion

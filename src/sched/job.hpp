@@ -4,11 +4,21 @@
 // always stack-allocated by the forking thread (fork2join keeps the right
 // branch alive on its own stack until the join), so no heap allocation or
 // reference counting is needed on the fork path.
+//
+// Exception safety: `execute` never lets an exception escape. A throw from
+// the payload is captured into the job's `exception_ptr` — and into the
+// region's shared cancel_state, requesting cancellation — and the job is
+// still marked finished, so a join never hangs and a thief's worker_loop
+// never unwinds into std::terminate. The forker inspects `exception()`
+// after the join (the done_ release/acquire pair publishes the pointer).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <utility>
+
+#include "sched/cancellation.hpp"
 
 namespace pbds::sched {
 
@@ -16,22 +26,53 @@ namespace pbds::sched {
 // whichever worker ran it, and polled (acquire) by the joiner.
 class job {
  public:
-  explicit job(void (*run)(job*)) noexcept : run_(run) {}
+  explicit job(void (*run)(job*), cancel_state* cancel = nullptr) noexcept
+      : run_(run), cancel_(cancel) {}
 
   job(const job&) = delete;
   job& operator=(const job&) = delete;
 
-  void execute() {
-    run_(this);
+  // Returns whether the payload failed. The executing worker must take
+  // the status from the return value, not from failed(): the done_ store
+  // is the job's last breath — the joiner may observe it, return, and pop
+  // the frame the job lives in, so touching *this afterwards is a
+  // use-after-free on another thread's stack.
+  bool execute() noexcept {
+    // Adopt the forker's region for the duration: nested forks inside the
+    // payload (possibly on a thief's thread) must share its cancel_state.
+    cancel_state* saved = detail::tl_cancel;
+    detail::tl_cancel = cancel_;
+    if (cancel_ == nullptr || !cancel_->cancelled()) {
+      try {
+        run_(this);
+      } catch (...) {
+        eptr_ = std::current_exception();
+        if (cancel_ != nullptr) cancel_->capture(eptr_);
+      }
+    }
+    // else: a sibling already failed — skip the payload (the cheap bail at
+    // a fork boundary) but still finish, so the joiner wakes up.
+    detail::tl_cancel = saved;
+    const bool did_fail = eptr_ != nullptr;
     done_.store(true, std::memory_order_release);
+    return did_fail;
   }
 
   [[nodiscard]] bool finished() const noexcept {
     return done_.load(std::memory_order_acquire);
   }
 
+  // Valid only on the joining thread (which owns the job's frame) once
+  // finished() has returned true; executors use execute()'s return value.
+  [[nodiscard]] bool failed() const noexcept { return eptr_ != nullptr; }
+  [[nodiscard]] std::exception_ptr exception() const noexcept {
+    return eptr_;
+  }
+
  private:
   void (*run_)(job*);
+  cancel_state* cancel_;
+  std::exception_ptr eptr_;
   std::atomic<bool> done_{false};
 };
 
@@ -41,8 +82,8 @@ class job {
 template <typename F>
 class callable_job final : public job {
  public:
-  explicit callable_job(F& f) noexcept
-      : job(&callable_job::invoke), f_(f) {}
+  explicit callable_job(F& f, cancel_state* cancel = nullptr) noexcept
+      : job(&callable_job::invoke, cancel), f_(f) {}
 
  private:
   static void invoke(job* self) {

@@ -16,12 +16,22 @@
 // splits) is identical across modes for a given worker count, which is
 // what makes the differential test oracles (tests/differential.hpp)
 // meaningful.
+//
+// Exception safety (DESIGN.md §"Failure semantics"): a throw from any
+// branch, on any worker, is captured into the region's cancel_state
+// (cancellation.hpp); sibling work bails out at fork and granularity-chunk
+// boundaries; every join still completes; and the *first* captured
+// exception is rethrown exactly once at the root fork on the calling
+// thread, with the pool quiescent and reusable. An exception never unwinds
+// a frame whose pushed job might still be stolen.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <exception>
 #include <utility>
 
+#include "sched/cancellation.hpp"
 #include "sched/deterministic.hpp"
 #include "sched/exec_policy.hpp"
 #include "sched/scheduler.hpp"
@@ -60,22 +70,49 @@ void fork2join(L&& left, R&& right) {
   }
   auto& s = sched::get_scheduler();
   if (s.num_workers() == 1 || sched::scheduler::worker_id() < 0) {
-    // Sequential fast path; also the safe path for threads outside the pool.
+    // Sequential fast path; also the safe path for threads outside the
+    // pool. No job is pushed, so a throw may unwind freely to the caller.
     left();
     right();
     return;
   }
-  sched::callable_job<R> right_job(right);
+  sched::cancel_scope scope;
+  sched::cancel_state* cs = scope.state();
+  if (!scope.is_root() && cs->cancelled()) return;  // bail: sibling failed
+  sched::callable_job<R> right_job(right, cs);
   s.push(&right_job);
-  left();
+  std::exception_ptr left_err;
+  try {
+    left();
+  } catch (...) {
+    // Must not unwind yet: right_job lives in this frame and may be held
+    // by a thief. Capture, cancel the region, and fall through to the
+    // join; the rethrow happens after right_job is resolved.
+    left_err = std::current_exception();
+    cs->capture(left_err);
+    s.note_subtree_failure();
+  }
   sched::job* popped = s.try_pop();
   if (popped != nullptr) {
     // Fork-join discipline guarantees the bottom of our deque is exactly
     // the job we pushed (everything pushed by `left` was joined inside it).
     assert(popped == &right_job);
-    popped->execute();
+    // execute captures its own throw (skips the payload if cancelled);
+    // whoever runs a job notes its failure, so stolen failures are noted
+    // by the thief in worker_loop / wait_until.
+    if (popped->execute()) s.note_subtree_failure();
   } else {
     s.wait_until(&right_job);
+  }
+  if (scope.is_root()) {
+    // First-exception-wins: exactly one exception leaves the region, on
+    // the thread that forked its root.
+    if (cs->cancelled()) cs->rethrow_first();
+  } else {
+    // Interior join: keep unwinding toward the root with a local
+    // exception; the root substitutes the region's first one.
+    if (left_err) std::rethrow_exception(left_err);
+    if (auto e = right_job.exception()) std::rethrow_exception(e);
   }
 }
 
@@ -92,6 +129,9 @@ void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
               [&] { parallel_for_rec(mid, hi, f, granularity); });
     return;
   }
+  // Chunk-boundary bail: once the region is cancelled, remaining leaves
+  // are dead work — their output is discarded by the rethrow at the root.
+  if (sched::cancellation_requested()) return;
   for (std::size_t i = lo; i < hi; ++i) f(i);
 }
 
@@ -100,7 +140,9 @@ void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
 // Parallel loop over [lo, hi). `granularity` is the largest range executed
 // sequentially; 0 selects a default that balances scheduling overhead
 // against load balance. `f` must be safe to invoke concurrently for
-// distinct indices.
+// distinct indices. Under cancellation whole chunks may be skipped; loops
+// that must visit every index regardless (element construction or
+// destruction) run under a sched::cancel_shield.
 template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, const F& f,
                   std::size_t granularity = 0) {

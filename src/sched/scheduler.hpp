@@ -11,16 +11,26 @@
 //
 // Workers back off exponentially (yield, then short sleeps) when no work is
 // found, so an over-provisioned pool does not burn a core per idle worker.
+//
+// Failure behavior (DESIGN.md §"Failure semantics"): jobs capture their own
+// exceptions (job.hpp), so nothing ever unwinds through worker_loop; a
+// pool-wide failed-subtree counter keeps joins on failing regions from
+// falling into the long sleep backoff; and a thread-spawn failure in the
+// constructor shrinks the pool to the workers that actually started
+// instead of crashing.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cerrno>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -48,18 +58,58 @@ inline std::uint64_t next_random() {
   x ^= x << 17;
   return x;
 }
+
+// Test hook mirroring the allocation fault injector (memory/tracking.hpp):
+// when armed with k, the k-th spawn attempt from now throws std::system_error
+// exactly as an exhausted OS would, exercising the constructor's
+// shrink-to-fit degradation path. Disarmed when negative.
+inline std::atomic<int> g_spawn_fault_countdown{-1};
+
+inline void arm_spawn_fault(int nth) noexcept {
+  g_spawn_fault_countdown.store(nth, std::memory_order_relaxed);
+}
+
+inline void disarm_spawn_fault() noexcept {
+  g_spawn_fault_countdown.store(-1, std::memory_order_relaxed);
+}
+
+inline void maybe_inject_spawn_fault() {
+  int c = g_spawn_fault_countdown.load(std::memory_order_relaxed);
+  if (c < 0) return;
+  if (g_spawn_fault_countdown.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    throw std::system_error(
+        std::make_error_code(std::errc::resource_unavailable_try_again),
+        "injected thread-spawn failure");
+  }
+}
 }  // namespace detail
 
 class scheduler {
  public:
   explicit scheduler(unsigned num_workers)
       : num_workers_(num_workers == 0 ? 1 : num_workers),
-        deques_(num_workers_) {
+        deques_(num_workers_.load(std::memory_order_relaxed)) {
     // Enroll the constructing thread as worker 0.
     detail::tl_worker_id = 0;
-    threads_.reserve(num_workers_ - 1);
-    for (unsigned id = 1; id < num_workers_; ++id) {
-      threads_.emplace_back([this, id] { worker_loop(id); });
+    unsigned requested = num_workers_.load(std::memory_order_relaxed);
+    threads_.reserve(requested - 1);
+    for (unsigned id = 1; id < requested; ++id) {
+      try {
+        detail::maybe_inject_spawn_fault();
+        threads_.emplace_back([this, id] { worker_loop(id); });
+      } catch (const std::system_error& e) {
+        // Graceful degradation: workers 0..id-1 are already running, so
+        // shrink the pool to them rather than crashing. The deque vector
+        // keeps its original size — unreachable deques stay empty and
+        // stale num_workers_ reads in concurrent steal loops only probe
+        // them harmlessly.
+        num_workers_.store(id, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "pbds: thread spawn failed after %u of %u workers "
+                     "(%s); continuing with a pool of %u\n",
+                     id, requested, e.what(), id);
+        break;
+      }
     }
   }
 
@@ -72,7 +122,9 @@ class scheduler {
   scheduler(const scheduler&) = delete;
   scheduler& operator=(const scheduler&) = delete;
 
-  [[nodiscard]] unsigned num_workers() const noexcept { return num_workers_; }
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return num_workers_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] static int worker_id() noexcept {
     return detail::tl_worker_id;
@@ -90,14 +142,46 @@ class scheduler {
     return deques_[static_cast<unsigned>(detail::tl_worker_id)].pop_bottom();
   }
 
+  // Record that some branch of a fork tree failed (threw). Monotone
+  // observation counter: waiters snapshot it on entry and switch to a
+  // prompt yield-only drain once it moves, so a join on a cancelling
+  // subtree never parks in the long sleep backoff.
+  void note_subtree_failure() noexcept {
+    subtree_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t subtree_failures() const noexcept {
+    return subtree_failures_.load(std::memory_order_relaxed);
+  }
+
   // Block (cooperatively) until `j` completes, stealing work meanwhile.
+  //
+  // Jobs always finish — job::execute marks completion even when the
+  // payload throws or is skipped by cancellation — so finished() is a
+  // sound exit. The failed-subtree check only changes *how* we wait once
+  // a failure is recorded: drain eagerly instead of sleeping.
   void wait_until(const job* j) {
     unsigned failures = 0;
+    const std::uint64_t failures_at_entry =
+        subtree_failures_.load(std::memory_order_relaxed);
     while (!j->finished()) {
+      // A shutdown while a join is still pending means an exception (or a
+      // teardown) unwound past a stealable job — the use-after-scope this
+      // layer exists to prevent. Fail loudly in debug builds.
+      assert(!shutdown_.load(std::memory_order_acquire) &&
+             "scheduler shut down while a join was still pending");
       job* stolen = find_work();
       if (stolen != nullptr) {
-        stolen->execute();
+        // Failure status must come from the return value: once execute
+        // marks the job done, its owner may pop the frame it lives in.
+        if (stolen->execute()) note_subtree_failure();
         failures = 0;
+      } else if (subtree_failures_.load(std::memory_order_relaxed) !=
+                 failures_at_entry) {
+        // A subtree failed since we started waiting: the job we're
+        // joining is likely completing via cancellation bail-out. Spin
+        // politely; do not fall into the 200µs sleeps.
+        std::this_thread::yield();
       } else {
         back_off(failures);
       }
@@ -111,7 +195,10 @@ class scheduler {
     while (!shutdown_.load(std::memory_order_acquire)) {
       job* j = find_work();
       if (j != nullptr) {
-        j->execute();
+        // execute never throws (captures into the job + cancel state) and
+        // returns the failure status — *j must not be touched afterwards,
+        // the joiner may already have reclaimed its frame.
+        if (j->execute()) note_subtree_failure();
         failures = 0;
       } else {
         back_off(failures);
@@ -124,10 +211,10 @@ class scheduler {
   job* find_work() {
     unsigned self = static_cast<unsigned>(detail::tl_worker_id);
     if (job* j = deques_[self].pop_bottom()) return j;
-    if (num_workers_ == 1) return nullptr;
-    for (unsigned attempt = 0; attempt < 2 * num_workers_; ++attempt) {
-      unsigned victim =
-          static_cast<unsigned>(detail::next_random() % num_workers_);
+    unsigned n = num_workers_.load(std::memory_order_relaxed);
+    if (n == 1) return nullptr;
+    for (unsigned attempt = 0; attempt < 2 * n; ++attempt) {
+      unsigned victim = static_cast<unsigned>(detail::next_random() % n);
       if (victim == self) continue;
       if (job* j = deques_[victim].steal()) return j;
     }
@@ -145,10 +232,13 @@ class scheduler {
     }
   }
 
-  unsigned num_workers_;
+  // Shrinks (once, in the constructor) if thread spawn fails; concurrent
+  // readers take relaxed loads, so it must be atomic.
+  std::atomic<unsigned> num_workers_;
   std::vector<chase_lev_deque> deques_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> subtree_failures_{0};
 };
 
 namespace detail {
@@ -162,13 +252,32 @@ inline std::unique_ptr<scheduler>& global_slot() {
 // this same function, so granularity decisions — and therefore a
 // pipeline's range partitioning — match the real pool for a given
 // PBDS_NUM_THREADS.
+//
+// PBDS_NUM_THREADS is parsed strictly (strtol, full-string match, range
+// [1, kMaxWorkers]); a malformed value falls back to the hardware count
+// and warns once on stderr instead of silently misconfiguring the pool.
+inline constexpr long kMaxWorkers = 4096;
+
 inline unsigned default_num_workers() {
-  if (const char* env = std::getenv("PBDS_NUM_THREADS")) {
-    int v = std::atoi(env);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
   unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  unsigned fallback = hw == 0 ? 1 : hw;
+  if (const char* env = std::getenv("PBDS_NUM_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno != ERANGE && v >= 1 &&
+        v <= kMaxWorkers) {
+      return static_cast<unsigned>(v);
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "pbds: ignoring malformed PBDS_NUM_THREADS='%s' "
+                   "(expected an integer in [1, %ld]); using %u workers\n",
+                   env, kMaxWorkers, fallback);
+    }
+  }
+  return fallback;
 }
 }  // namespace detail
 

@@ -4,7 +4,11 @@
 // scan / filter / filter_op / flatten — scan partials, filter pack
 // buffers, flatten offset arrays, output buffers — propagates out as
 // std::bad_alloc and leaks nothing: bytes_live returns exactly to its
-// pre-call baseline once the in-scope inputs are destroyed.
+// pre-call baseline once the in-scope inputs are destroyed. The sweeps
+// run under the sequential and deterministic schedulers AND the real
+// work-stealing pool (the fault then fires on an arbitrary worker and
+// must cross the fork-join layer's capture/cancel/rethrow protocol —
+// DESIGN.md §"Failure semantics"), and the pool must stay reusable.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -185,6 +189,78 @@ TEST(FaultInjection, FilterScanPipelineLeakFreeDeterministic) {
     sweep_every_allocation([] { return filter_scan_pipeline<delay_policy>(); },
                            expected);
   }
+}
+
+// --- the real work-stealing pool ---------------------------------------------
+//
+// Same sweeps under exec_mode::parallel: the injected bad_alloc now lands
+// on whichever worker performs the Nth allocation — possibly inside a
+// stolen job — and must still reach the caller as a single bad_alloc on
+// the forking thread, leak nothing, and leave the pool able to run a
+// clean pipeline immediately afterwards.
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeRealPool_Array) {
+  ASSERT_EQ(sched::current_exec_mode(), sched::exec_mode::parallel);
+  std::int64_t expected = filter_scan_pipeline<array_policy>();
+  sweep_every_allocation([] { return filter_scan_pipeline<array_policy>(); },
+                         expected);
+  EXPECT_EQ(filter_scan_pipeline<array_policy>(), expected);  // pool intact
+}
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeRealPool_Rad) {
+  ASSERT_EQ(sched::current_exec_mode(), sched::exec_mode::parallel);
+  std::int64_t expected = filter_scan_pipeline<rad_policy>();
+  sweep_every_allocation([] { return filter_scan_pipeline<rad_policy>(); },
+                         expected);
+  EXPECT_EQ(filter_scan_pipeline<rad_policy>(), expected);
+}
+
+TEST(FaultInjection, FilterScanPipelineLeakFreeRealPool_Delay) {
+  ASSERT_EQ(sched::current_exec_mode(), sched::exec_mode::parallel);
+  std::int64_t expected = filter_scan_pipeline<delay_policy>();
+  sweep_every_allocation([] { return filter_scan_pipeline<delay_policy>(); },
+                         expected);
+  EXPECT_EQ(filter_scan_pipeline<delay_policy>(), expected);
+}
+
+TEST(FaultInjection, FlattenPipelineLeakFreeRealPool_Array) {
+  ASSERT_EQ(sched::current_exec_mode(), sched::exec_mode::parallel);
+  std::int64_t expected = flatten_pipeline<array_policy>();
+  sweep_every_allocation([] { return flatten_pipeline<array_policy>(); },
+                         expected);
+  EXPECT_EQ(flatten_pipeline<array_policy>(), expected);
+}
+
+TEST(FaultInjection, FlattenPipelineLeakFreeRealPool_Delay) {
+  ASSERT_EQ(sched::current_exec_mode(), sched::exec_mode::parallel);
+  std::int64_t expected = flatten_pipeline<delay_policy>();
+  sweep_every_allocation([] { return flatten_pipeline<delay_policy>(); },
+                         expected);
+  EXPECT_EQ(flatten_pipeline<delay_policy>(), expected);
+}
+
+TEST(FaultInjection, ProbabilityModeLeakFreeRealPool) {
+  ASSERT_EQ(sched::current_exec_mode(), sched::exec_mode::parallel);
+  std::int64_t expected = filter_scan_pipeline<delay_policy>();
+  std::int64_t baseline = memory::bytes_live();
+  std::int64_t faulted_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    {
+      auto faults =
+          memory::scoped_alloc_faults::fail_with_probability(seed, 0.05);
+      try {
+        EXPECT_EQ(filter_scan_pipeline<delay_policy>(), expected)
+            << "seed=" << seed;
+      } catch (const std::bad_alloc&) {
+        ++faulted_runs;
+      }
+    }
+    EXPECT_EQ(memory::bytes_live(), baseline) << "leak with seed " << seed;
+    // The pool must come back clean between faulted runs.
+    ASSERT_EQ(filter_scan_pipeline<delay_policy>(), expected)
+        << "pool wedged after seed " << seed;
+  }
+  EXPECT_GT(faulted_runs, 0);
 }
 
 TEST(FaultInjection, ProbabilityModeLeakFreeAcrossSeeds) {

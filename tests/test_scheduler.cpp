@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "sched/parallel.hpp"
@@ -130,6 +133,67 @@ TEST(Scheduler, StressManySmallForks) {
     parallel_for(0, 1000, [&](std::size_t) { c++; }, 1);
     ASSERT_EQ(c.load(), 1000);
   }
+}
+
+TEST(Scheduler, SpawnFailureShrinksPoolGracefully) {
+  // A std::system_error from thread creation (injected here, exactly where
+  // an exhausted OS would throw) must not crash the constructor: the pool
+  // shrinks to the workers that actually started and still runs work.
+  unsigned before = pbds::sched::num_workers();
+  pbds::sched::detail::arm_spawn_fault(2);  // 3rd spawn attempt fails
+  pbds::sched::set_num_workers(8);
+  pbds::sched::detail::disarm_spawn_fault();
+  EXPECT_EQ(pbds::sched::num_workers(), 3u);  // worker 0 + the 2 that started
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(
+      0, 50'000,
+      [&](std::size_t i) {
+        sum.fetch_add(static_cast<std::int64_t>(i),
+                      std::memory_order_relaxed);
+      },
+      64);
+  EXPECT_EQ(sum.load(), 50'000LL * 49'999 / 2);
+  pbds::sched::set_num_workers(before);
+  EXPECT_EQ(pbds::sched::num_workers(), before);
+}
+
+TEST(Scheduler, SpawnFailureOnFirstWorkerLeavesUsableSingletonPool) {
+  unsigned before = pbds::sched::num_workers();
+  pbds::sched::detail::arm_spawn_fault(0);  // even the first spawn fails
+  pbds::sched::set_num_workers(8);
+  pbds::sched::detail::disarm_spawn_fault();
+  EXPECT_EQ(pbds::sched::num_workers(), 1u);
+  std::atomic<int> c{0};
+  parallel_for(0, 10'000, [&](std::size_t) { c++; }, 16);
+  EXPECT_EQ(c.load(), 10'000);
+  pbds::sched::set_num_workers(before);
+}
+
+TEST(Scheduler, DefaultNumWorkersParsesStrictly) {
+  const char* old = std::getenv("PBDS_NUM_THREADS");
+  std::string saved = old != nullptr ? old : "";
+  bool had = old != nullptr;
+  unsigned hw = std::thread::hardware_concurrency();
+  unsigned fallback = hw == 0 ? 1 : hw;
+  auto with = [](const char* v) {
+    setenv("PBDS_NUM_THREADS", v, 1);
+    return pbds::sched::detail::default_num_workers();
+  };
+  EXPECT_EQ(with("7"), 7u);
+  EXPECT_EQ(with(" 12"), 12u);  // strtol skips leading whitespace
+  EXPECT_EQ(with("4096"), 4096u);
+  // Malformed or out-of-range values fall back to the hardware count
+  // (warning once on stderr) instead of silently misconfiguring the pool.
+  EXPECT_EQ(with("0"), fallback);
+  EXPECT_EQ(with("-3"), fallback);
+  EXPECT_EQ(with("4x"), fallback);   // trailing junk
+  EXPECT_EQ(with("abc"), fallback);
+  EXPECT_EQ(with(""), fallback);
+  EXPECT_EQ(with("4097"), fallback);  // above kMaxWorkers
+  EXPECT_EQ(with("99999999999999999999"), fallback);  // ERANGE
+  unsetenv("PBDS_NUM_THREADS");
+  EXPECT_EQ(pbds::sched::detail::default_num_workers(), fallback);
+  if (had) setenv("PBDS_NUM_THREADS", saved.c_str(), 1);
 }
 
 TEST(Scheduler, WorkActuallyDistributesAcrossWorkers) {
