@@ -12,7 +12,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,10 @@ struct cli {
   std::string impl = "all";
   std::size_t n = 0;  // 0 = per-benchmark default
   options opt;
+  std::string json_path;    // empty = no JSON report
+  bool isolate = false;     // fork one subprocess per configuration
+  double timeout_sec = 60;  // per-configuration wall clock (isolated mode)
+  int retries = 1;          // max retries after timeout/crash (isolated mode)
 };
 
 // One benchmark = a factory that captures the generated input and returns
@@ -213,20 +219,44 @@ std::map<std::string, entry> registry() {
 
 cli parse_cli(int argc, char** argv) {
   cli c;
+  namespace bd = pbds::bench_common::detail;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
+  // The artifact-style -repeat/-warmup aliases are collected here and
+  // applied *after* options::parse builds c.opt from the passthrough
+  // flags, so they are not overwritten.
+  int repeat_override = -1;
+  double warmup_override = -1;
   for (int i = 1; i < argc; ++i) {
     auto is = [&](const char* f) { return std::strcmp(argv[i], f) == 0; };
-    if (is("--bench") && i + 1 < argc) {
-      c.bench = argv[++i];
-    } else if (is("--impl") && i + 1 < argc) {
-      c.impl = argv[++i];
-    } else if (is("-n") && i + 1 < argc) {
-      c.n = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (is("-repeat") && i + 1 < argc) {
-      c.opt.repeat = std::atoi(argv[++i]);
-    } else if (is("-warmup") && i + 1 < argc) {
-      c.opt.warmup = std::atof(argv[++i]);
+    if (is("--bench")) {
+      c.bench = bd::require_value("--bench", i, argc, argv);
+    } else if (is("--impl")) {
+      c.impl = bd::require_value("--impl", i, argc, argv);
+    } else if (is("-n")) {
+      c.n = static_cast<std::size_t>(bd::parse_long_arg(
+          "-n", bd::require_value("-n", i, argc, argv), 1,
+          std::numeric_limits<long>::max()));
+    } else if (is("-repeat")) {
+      repeat_override = static_cast<int>(bd::parse_long_arg(
+          "-repeat", bd::require_value("-repeat", i, argc, argv), 1,
+          1000000));
+    } else if (is("-warmup")) {
+      warmup_override = bd::parse_double_arg(
+          "-warmup", bd::require_value("-warmup", i, argc, argv), 0.0,
+          /*inclusive=*/true);
+    } else if (is("--json")) {
+      c.json_path = bd::require_value("--json", i, argc, argv);
+    } else if (is("--isolate")) {
+      c.isolate = true;
+    } else if (is("--timeout")) {
+      c.timeout_sec = bd::parse_double_arg(
+          "--timeout", bd::require_value("--timeout", i, argc, argv), 0.0,
+          /*inclusive=*/false);
+    } else if (is("--retries")) {
+      c.retries = static_cast<int>(bd::parse_long_arg(
+          "--retries", bd::require_value("--retries", i, argc, argv), 0,
+          100));
     } else if (is("--list")) {
       for (const auto& [name, e] : registry()) {
         std::printf("%-12s (default n = %zu)\n", name.c_str(), e.default_n);
@@ -235,7 +265,9 @@ cli parse_cli(int argc, char** argv) {
     } else if (is("--help") || is("-h")) {
       std::printf(
           "usage: %s [--bench NAME|all] [--impl array|rad|delay|all]\n"
-          "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n",
+          "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n"
+          "          [--json PATH] [--isolate] [--timeout SECONDS]\n"
+          "          [--retries N]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -245,6 +277,8 @@ cli parse_cli(int argc, char** argv) {
   // Remaining flags (e.g. --scale) go to the common parser.
   c.opt = options::parse(static_cast<int>(passthrough.size()),
                          passthrough.data());
+  if (repeat_override >= 0) c.opt.repeat = repeat_override;
+  if (warmup_override >= 0) c.opt.warmup = warmup_override;
   return c;
 }
 
@@ -252,13 +286,6 @@ cli parse_cli(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   cli c = parse_cli(argc, argv);
-  // Re-apply -repeat/-warmup after options::parse reset them.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-repeat") == 0 && i + 1 < argc)
-      c.opt.repeat = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "-warmup") == 0 && i + 1 < argc)
-      c.opt.warmup = std::atof(argv[i + 1]);
-  }
 
   auto reg = registry();
   std::vector<std::string> benches;
@@ -275,16 +302,42 @@ int main(int argc, char** argv) {
       c.impl == "all" ? std::vector<std::string>{"array", "rad", "delay"}
                       : std::vector<std::string>{c.impl};
 
+  std::unique_ptr<json_report> report;
+  if (!c.json_path.empty())
+    report = std::make_unique<json_report>(c.json_path);
+
   std::printf("%-12s %-6s %12s %10s %12s %12s\n", "benchmark", "impl", "n",
               "time(s)", "peak MB", "alloc MB/run");
   for (const auto& name : benches) {
     const auto& e = reg.at(name);
     std::size_t n = c.n ? c.n : c.opt.scaled(e.default_n);
     for (const auto& impl : impls) {
-      auto m = e.run(impl, n, c.opt);
-      std::printf("%-12s %-6s %12zu %10.4f %12.1f %12.1f\n", name.c_str(),
-                  impl.c_str(), n, m.seconds, mb(m.peak_bytes),
-                  mb(m.allocated_bytes));
+      if (c.isolate) {
+        // One subprocess per configuration: input generation, warmup, and
+        // timed runs all happen in the child, so this parent process never
+        // starts the scheduler pool — the precondition for fork safety
+        // (run_isolated's contract) — and a configuration that wedges,
+        // crashes, or blows past the budget costs only its own row.
+        auto r = run_isolated([&] { return e.run(impl, n, c.opt); },
+                              c.timeout_sec, c.retries);
+        if (r.status == run_status::ok) {
+          std::printf("%-12s %-6s %12zu %10.4f %12.1f %12.1f\n",
+                      name.c_str(), impl.c_str(), n, r.m.seconds,
+                      mb(r.m.peak_bytes), mb(r.m.allocated_bytes));
+        } else {
+          std::printf("%-12s %-6s %12zu %10s (%s after %d attempt%s)\n",
+                      name.c_str(), impl.c_str(), n, "-",
+                      to_string(r.status), r.attempts,
+                      r.attempts == 1 ? "" : "s");
+        }
+        if (report) report->add({name, impl, r.status, r.attempts, r.m});
+      } else {
+        auto m = e.run(impl, n, c.opt);
+        std::printf("%-12s %-6s %12zu %10.4f %12.1f %12.1f\n", name.c_str(),
+                    impl.c_str(), n, m.seconds, mb(m.peak_bytes),
+                    mb(m.allocated_bytes));
+        if (report) report->add({name, impl, run_status::ok, 1, m});
+      }
       std::fflush(stdout);
     }
   }

@@ -72,8 +72,23 @@ class parray {
   // For trivially destructible T the injector-off fast path is unchanged:
   // on a throw the skipped/garbage slots need no destruction and release()
   // still frees the buffer, so nothing leaks there either.
+  // Budget-aware entry point: under an active budget (budget.hpp) a
+  // refused tabulation is retried after an exponential-backoff drain —
+  // concurrent pipelines may be releasing memory — before the refusal
+  // propagates. The no-budget fast path is a single branch.
   template <typename F>
   static parray tabulate(std::size_t n, F&& f, std::size_t granularity = 0) {
+    if (memory::budget_active()) {
+      return memory::budget_retry(
+          [&] { return tabulate_impl(n, f, granularity); });
+    }
+    return tabulate_impl(n, f, granularity);
+  }
+
+ private:
+  template <typename F>
+  static parray tabulate_impl(std::size_t n, F&& f,
+                              std::size_t granularity) {
     parray a(n);
     T* p = a.data_;
     if constexpr (std::is_nothrow_default_constructible_v<T>) {
@@ -105,6 +120,7 @@ class parray {
     return a;
   }
 
+ public:
   static parray filled(std::size_t n, const T& v) {
     return tabulate(n, [&](std::size_t) { return v; });
   }
@@ -137,12 +153,13 @@ class parray {
  private:
   explicit parray(std::size_t n) : n_(n) {
     if (n_ > 0) {
-      memory::maybe_inject_alloc_fault();
-      // Count only after the allocation succeeded, so a throw (real or
-      // injected) leaves the accounting untouched.
+      // Admission runs the fault injector and the budget check; commit
+      // only after the allocation succeeded, so a throw (real, injected,
+      // or a budget refusal) leaves the accounting untouched.
+      memory::alloc_admission adm(n_ * sizeof(T));
       data_ = static_cast<T*>(
           ::operator new(n_ * sizeof(T), std::align_val_t(alignof(T))));
-      memory::note_alloc(n_ * sizeof(T));
+      adm.commit();
     }
   }
 

@@ -6,16 +6,31 @@
 // average. Space is the peak of the byte-exact allocation accounting
 // (pbds::memory) across the timed runs — the deterministic analogue of the
 // paper's max-residency measurement (see DESIGN.md §1).
+//
+// Resilience layer (DESIGN.md §"Resource governance"): run_isolated
+// executes one configuration in a forked child with a wall-clock timeout
+// and bounded retries, classifying the outcome (ok / timeout / crash /
+// budget refusal) instead of letting one pathological configuration take
+// down the whole suite; json_report persists partial results after every
+// configuration so a later death loses nothing.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "memory/budget.hpp"
 #include "memory/tracking.hpp"
 #include "sched/scheduler.hpp"
 
@@ -27,27 +42,102 @@ inline void do_not_optimize(const T& value) {
   asm volatile("" : : "r,m"(value) : "memory");
 }
 
+namespace detail {
+// Strict CLI numeric parsing, matching the treatment of PBDS_NUM_THREADS
+// in scheduler.hpp: full-string match, range check, and a clear error on
+// stderr instead of atoi/atof's silent zero.
+inline long parse_long_arg(const char* flag, const char* text, long lo,
+                           long hi) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s (expected an integer in "
+                 "[%ld, %ld])\n",
+                 text, flag, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+inline double parse_double_arg(const char* flag, const char* text, double lo,
+                              bool inclusive) {
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text, &end);
+  bool in_range = inclusive ? (v >= lo) : (v > lo);  // NaN fails both
+  if (end == text || *end != '\0' || errno == ERANGE || !in_range) {
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s (expected a number %s "
+                 "%g)\n",
+                 text, flag, inclusive ? ">=" : ">", lo);
+    std::exit(2);
+  }
+  return v;
+}
+
+inline const char* require_value(const char* flag, int& i, int argc,
+                                 char** argv) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s requires a value\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+}  // namespace detail
+
 struct options {
   double scale = 1.0;   // multiply default problem sizes
   int repeat = 3;       // timed repetitions
   double warmup = 0.25; // seconds of back-to-back warmup
   std::vector<unsigned> procs;  // worker counts to sweep (fig15)
 
+  // Unrecognized arguments are ignored (benchmark mains layer their own
+  // flags on top); recognized flags have their values validated strictly
+  // and exit(2) with a message on malformed input.
   static options parse(int argc, char** argv) {
     options o;
     for (int i = 1; i < argc; ++i) {
       auto is = [&](const char* f) { return std::strcmp(argv[i], f) == 0; };
-      if (is("--scale") && i + 1 < argc) {
-        o.scale = std::atof(argv[++i]);
-      } else if (is("--repeat") && i + 1 < argc) {
-        o.repeat = std::atoi(argv[++i]);
-      } else if (is("--warmup") && i + 1 < argc) {
-        o.warmup = std::atof(argv[++i]);
-      } else if (is("--procs") && i + 1 < argc) {
+      if (is("--scale")) {
+        o.scale = detail::parse_double_arg(
+            "--scale", detail::require_value("--scale", i, argc, argv), 0.0,
+            /*inclusive=*/false);
+      } else if (is("--repeat")) {
+        o.repeat = static_cast<int>(detail::parse_long_arg(
+            "--repeat", detail::require_value("--repeat", i, argc, argv), 1,
+            1000000));
+      } else if (is("--warmup")) {
+        o.warmup = detail::parse_double_arg(
+            "--warmup", detail::require_value("--warmup", i, argc, argv), 0.0,
+            /*inclusive=*/true);
+      } else if (is("--procs")) {
+        const char* text = detail::require_value("--procs", i, argc, argv);
         o.procs.clear();
-        for (const char* tok = std::strtok(argv[++i], ","); tok != nullptr;
-             tok = std::strtok(nullptr, ",")) {
-          o.procs.push_back(static_cast<unsigned>(std::atoi(tok)));
+        const char* p = text;
+        for (;;) {
+          char* end = nullptr;
+          errno = 0;
+          long v = std::strtol(p, &end, 10);
+          if (end == p || errno == ERANGE || v < 1 ||
+              v > sched::detail::kMaxWorkers) {
+            std::fprintf(stderr,
+                         "error: invalid --procs list '%s' (expected "
+                         "comma-separated integers in [1, %ld])\n",
+                         text, sched::detail::kMaxWorkers);
+            std::exit(2);
+          }
+          o.procs.push_back(static_cast<unsigned>(v));
+          if (*end == '\0') break;
+          if (*end != ',') {
+            std::fprintf(stderr,
+                         "error: invalid --procs list '%s' (expected "
+                         "comma-separated integers)\n",
+                         text);
+            std::exit(2);
+          }
+          p = end + 1;
         }
       } else if (is("--help") || is("-h")) {
         std::printf(
@@ -81,6 +171,12 @@ measurement measure(const F& f, const options& opt) {
   do {
     f();
   } while (clock::now() < deadline);
+  // Quiesce before space_meter resets the peak: the joins above guarantee
+  // the warmup's *work* is done, but a worker that lost the race to its
+  // joiner may still be in a job epilogue whose trailing note_free would
+  // otherwise land between reset_peak and the timed runs and skew the
+  // accounting baseline.
+  sched::quiesce();
   memory::space_meter meter;
   auto t0 = clock::now();
   for (int r = 0; r < opt.repeat; ++r) f();
@@ -138,5 +234,235 @@ inline void print_rad_row(const std::string& name, const measurement& a,
               ratio(static_cast<double>(a.peak_bytes),
                     static_cast<double>(ours.peak_bytes)));
 }
+
+// --- subprocess isolation ------------------------------------------------------
+
+enum class run_status {
+  ok,               // child completed and reported a measurement
+  timeout,          // child exceeded the wall-clock limit and was killed
+  crashed,          // child died on a signal (OOM kill, segfault, abort)
+  budget_exceeded,  // child refused by the memory budget (deterministic)
+  error,            // child exited nonzero for any other reason
+};
+
+[[nodiscard]] inline const char* to_string(run_status s) {
+  switch (s) {
+    case run_status::ok: return "ok";
+    case run_status::timeout: return "timeout";
+    case run_status::crashed: return "crashed";
+    case run_status::budget_exceeded: return "budget_exceeded";
+    case run_status::error: return "error";
+  }
+  return "unknown";
+}
+
+struct isolated_result {
+  run_status status = run_status::error;
+  int attempts = 0;  // total child launches (1 = first try succeeded)
+  measurement m;     // valid only when status == ok
+};
+
+namespace detail {
+// Reserved child exit codes (distinct from exit(2) usage errors and the
+// usual small codes a benchmark main might use).
+inline constexpr int kBudgetExitCode = 97;
+inline constexpr int kErrorExitCode = 98;
+
+// One fork/monitor/reap cycle. The child runs `f` (which must return a
+// `measurement`), reports it over a pipe, and _exits without running
+// static destructors — the parent's state must not be torn down twice.
+template <typename F>
+isolated_result run_isolated_once(const F& f, double timeout_sec) {
+  isolated_result r;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::fprintf(stderr, "harness: pipe failed: %s\n", std::strerror(errno));
+    return r;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "harness: fork failed: %s\n", std::strerror(errno));
+    close(fds[0]);
+    close(fds[1]);
+    return r;
+  }
+  if (pid == 0) {
+    // Child. The parent's worker/watchdog threads do not exist here;
+    // drop the inherited handles before any parallel work.
+    close(fds[0]);
+    sched::reinit_in_child();
+    int code = kErrorExitCode;
+    char line[128];
+    int len = 0;
+    try {
+      measurement m = f();
+      len = std::snprintf(line, sizeof line, "%.9g %lld %lld\n", m.seconds,
+                          static_cast<long long>(m.peak_bytes),
+                          static_cast<long long>(m.allocated_bytes));
+      code = 0;
+    } catch (const budget_exceeded&) {
+      code = kBudgetExitCode;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "harness(child): %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "harness(child): unknown exception\n");
+    }
+    if (code == 0 && len > 0) {
+      ssize_t unused = write(fds[1], line, static_cast<std::size_t>(len));
+      (void)unused;
+    }
+    close(fds[1]);
+    _exit(code);  // skip static destructors; the parent owns process state
+  }
+  // Parent: poll for exit, SIGKILL on timeout.
+  close(fds[1]);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_sec);
+  int wstatus = 0;
+  bool timed_out = false;
+  for (;;) {
+    pid_t done = waitpid(pid, &wstatus, WNOHANG);
+    if (done == pid) break;
+    if (done < 0 && errno != EINTR) {
+      close(fds[0]);
+      return r;
+    }
+    if (!timed_out && std::chrono::steady_clock::now() >= deadline) {
+      kill(pid, SIGKILL);
+      timed_out = true;  // keep polling until the kill is reaped
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (timed_out) {
+    r.status = run_status::timeout;
+  } else if (WIFSIGNALED(wstatus)) {
+    r.status = run_status::crashed;
+  } else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+    char buf[128] = {0};
+    ssize_t got = read(fds[0], buf, sizeof buf - 1);
+    long long peak = 0;
+    long long alloc = 0;
+    if (got > 0 &&
+        std::sscanf(buf, "%lf %lld %lld", &r.m.seconds, &peak, &alloc) == 3) {
+      r.m.peak_bytes = peak;
+      r.m.allocated_bytes = alloc;
+      r.status = run_status::ok;
+    }
+  } else if (WIFEXITED(wstatus) &&
+             WEXITSTATUS(wstatus) == kBudgetExitCode) {
+    r.status = run_status::budget_exceeded;
+  }
+  close(fds[0]);
+  return r;
+}
+}  // namespace detail
+
+// Run one benchmark configuration in a forked subprocess with a wall-clock
+// timeout and bounded retries (exponential backoff between attempts). `f`
+// must return a `measurement` and is invoked only in the child.
+//
+// Classification: a timeout or signal death (OOM killer, segfault) is
+// retried up to `max_retries` times — those can be transient under load; a
+// budget refusal is NOT retried, because admission (memory/budget.hpp) is
+// deterministic for a fixed configuration.
+//
+// fork(2) safety: call this only from a process that has NOT started the
+// scheduler pool or the watchdog — a forked copy of a multithreaded
+// process may hold another thread's allocator lock forever. The child
+// drops inherited handles via sched::reinit_in_child() and builds its own
+// pool; the isolating parent must stay single-threaded and leave all
+// parallel work to children (see bench/pbdsbench.cpp --isolate).
+template <typename F>
+isolated_result run_isolated(const F& f, double timeout_sec,
+                             int max_retries = 1,
+                             int backoff_ms = 100) {
+  isolated_result r;
+  for (int attempt = 0;; ++attempt) {
+    r = detail::run_isolated_once(f, timeout_sec);
+    r.attempts = attempt + 1;
+    if (r.status == run_status::ok ||
+        r.status == run_status::budget_exceeded || attempt >= max_retries) {
+      return r;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(backoff_ms) << attempt));
+  }
+}
+
+// --- partial-results JSON report ----------------------------------------------
+//
+// Appending a record rewrites the whole file (tmp + rename, so readers
+// never see a torn write): the report on disk is complete and valid JSON
+// after every configuration, and a crash mid-suite loses only the
+// configuration that crashed — which is itself recorded with its failure
+// status before the next one starts.
+class json_report {
+ public:
+  explicit json_report(std::string path) : path_(std::move(path)) {}
+
+  struct record {
+    std::string name;      // benchmark name
+    std::string config;    // library / policy variant
+    run_status status = run_status::ok;
+    int attempts = 1;
+    measurement m;
+  };
+
+  void add(record rec) {
+    records_.push_back(std::move(rec));
+    flush();
+  }
+
+  [[nodiscard]] const std::vector<record>& records() const {
+    return records_;
+  }
+
+ private:
+  static void write_escaped(std::FILE* out, const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') std::fputc('\\', out);
+      if (static_cast<unsigned char>(c) < 0x20) {
+        std::fprintf(out, "\\u%04x", c);
+        continue;
+      }
+      std::fputc(c, out);
+    }
+  }
+
+  void flush() const {
+    std::string tmp = path_ + ".tmp";
+    std::FILE* out = std::fopen(tmp.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "harness: cannot write %s: %s\n", tmp.c_str(),
+                   std::strerror(errno));
+      return;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const record& r = records_[i];
+      std::fprintf(out, "  {\"name\": \"");
+      write_escaped(out, r.name);
+      std::fprintf(out, "\", \"config\": \"");
+      write_escaped(out, r.config);
+      std::fprintf(out,
+                   "\", \"status\": \"%s\", \"attempts\": %d, "
+                   "\"seconds\": %.9g, \"peak_bytes\": %lld, "
+                   "\"allocated_bytes\": %lld}%s\n",
+                   to_string(r.status), r.attempts, r.m.seconds,
+                   static_cast<long long>(r.m.peak_bytes),
+                   static_cast<long long>(r.m.allocated_bytes),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::fprintf(stderr, "harness: cannot rename %s -> %s: %s\n",
+                   tmp.c_str(), path_.c_str(), std::strerror(errno));
+    }
+  }
+
+  std::string path_;
+  std::vector<record> records_;
+};
 
 }  // namespace pbds::bench_common

@@ -21,6 +21,7 @@
 //    block function, so delayed sequences are self-contained values.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <memory>
@@ -176,10 +177,10 @@ void apply_each(const Seq& s, const G& g) {
 // under a cancel_shield — the region-level bail-out would skip whole
 // blocks and leave slots unconstructed — and once `err` triggers,
 // remaining blocks skip stream evaluation and fill placeholders instead.
-template <typename Seq>
-[[nodiscard]] auto to_array(const Seq& s) {
-  using T = typename std::decay_t<decltype(as_seq(s))>::value_type;
-  auto bd = bid_of(as_seq(s));
+namespace detail {
+template <typename Bid>
+[[nodiscard]] auto to_array_eager(const Bid& bd) {
+  using T = typename Bid::value_type;
   auto out = parray<T>::uninitialized(bd.n);
   T* q = out.data();
   if constexpr (std::is_nothrow_default_constructible_v<T>) {
@@ -212,6 +213,22 @@ template <typename Seq>
     for (std::size_t k = 0; k < len; ++k) ::new (q + base + k) T(st.next());
   });
   return out;
+}
+}  // namespace detail
+
+// Budget-aware entry point (memory/budget.hpp): under an active byte
+// budget a refused materialization is retried after exponential-backoff
+// drains before the refusal propagates. Retrying re-invokes the block
+// functions, which the BID contract already requires to be pure; pipelines
+// whose *construction* is effectful (filter_op's compare-and-swap
+// predicates) had their effects run eagerly when the pipeline was built,
+// not here.
+template <typename Seq>
+[[nodiscard]] auto to_array(const Seq& s) {
+  auto bd = bid_of(as_seq(s));
+  if (memory::budget_active())
+    return memory::budget_retry([&] { return detail::to_array_eager(bd); });
+  return detail::to_array_eager(bd);
 }
 
 // force (Fig. 9 line 16): evaluate everything now; the result is a RAD
@@ -367,11 +384,136 @@ template <typename F, typename Seq>
 
 // --- flatten (Fig. 10 lines 44-47) ---------------------------------------------
 
+namespace detail {
+
+// Stream over the concatenation of an outer sequence's inner sequences,
+// with two element-access modes sharing one type so flatten's eager and
+// bounded-memory paths return the same BID:
+//
+//  * materialized (`pieces` non-null): identical to region_stream — the
+//    inners were forced up front and are indexed directly;
+//  * recompute (`pieces` null): at most ONE inner sequence is live per
+//    stream at any time, re-materialized on demand from the outer BID's
+//    block streams. This is the recompute side of the paper's
+//    recompute-vs-force tradeoff (§5): peak space drops from "all inners"
+//    to one inner per in-flight output block, paid for by re-evaluating
+//    outer elements — positioning a stream mid-way into an outer block
+//    streams (and immediately discards) that block's preceding inners.
+template <typename OuterBid>
+struct flatten_stream {
+  using inner_type = typename OuterBid::value_type;
+  using value_type =
+      std::decay_t<decltype(std::declval<const inner_type&>()[0])>;
+
+  const parray<inner_type>* pieces;  // non-null selects materialized mode
+  const OuterBid* outer;             // recompute mode only
+  std::size_t k;  // current inner sequence
+  std::size_t i;  // position within inner k
+
+  // Recompute-mode state: the outer block stream currently open, the next
+  // outer index it will yield, and the single live inner.
+  std::optional<typename OuterBid::stream_type> st{};
+  std::size_t stream_j = 0;
+  std::size_t stream_next = 0;
+  std::optional<inner_type> cur{};
+  std::size_t cur_k = 0;
+
+  value_type next() {
+    if (pieces != nullptr) {
+      while (i >= (*pieces)[k].size()) {
+        ++k;
+        i = 0;
+      }
+      return (*pieces)[k][i++];
+    }
+    for (;;) {
+      if (!cur.has_value() || cur_k != k) materialize(k);
+      if (i < cur->size()) break;
+      ++k;
+      i = 0;
+    }
+    return (*cur)[i++];
+  }
+
+  void materialize(std::size_t target) {
+    std::size_t j = target / outer->block_size;
+    if (!st.has_value() || stream_j != j || stream_next > target) {
+      st.emplace(outer->block(j));
+      stream_j = j;
+      stream_next = j * outer->block_size;
+    }
+    // Keep at most one inner alive: drop the old one before streaming
+    // forward, and let skipped inners die as temporaries.
+    cur.reset();
+    while (stream_next < target) {
+      (void)st->next();
+      ++stream_next;
+    }
+    cur.emplace(st->next());
+    ++stream_next;
+    cur_k = target;
+  }
+};
+
+// Package the flattened view as a BID of m total elements. `pieces` may be
+// null (recompute mode); `outer` is always carried so both modes share one
+// block-function type. Offsets as in region_bid: pieces->size() + 1
+// entries, back() == m.
+template <typename OuterBid>
+[[nodiscard]] auto flatten_bid(
+    std::shared_ptr<parray<typename OuterBid::value_type>> pieces,
+    OuterBid outer, std::shared_ptr<parray<std::size_t>> offsets,
+    std::size_t m, std::size_t blk) {
+  auto block_fn = [pieces = std::move(pieces), outer = std::move(outer),
+                   offsets = std::move(offsets), blk](std::size_t j) {
+    std::size_t start = j * blk;
+    const std::size_t* base = offsets->data();
+    std::size_t k = static_cast<std::size_t>(
+        std::upper_bound(base, base + offsets->size(), start) - base - 1);
+    return flatten_stream<OuterBid>{pieces.get(), &outer, k,
+                                    start - base[k]};
+  };
+  return make_bid(m, blk, std::move(block_fn));
+}
+
+// Bounded-memory flatten (ISSUE 3 degradation path): instead of forcing
+// every inner sequence at once, walk the outer sequence one block at a
+// time with one transient inner live, recording only the sizes (8 bytes
+// per outer element); the returned BID re-materializes inners on demand.
+template <typename OuterBid>
+[[nodiscard]] auto flatten_chunked(const OuterBid& obd) {
+  using inner_type = typename OuterBid::value_type;
+  std::size_t outer_n = obd.n;
+  auto sizes = parray<std::size_t>::uninitialized(outer_n);
+  std::size_t nb = obd.num_blocks();
+  for (std::size_t j = 0; j < nb; ++j) {
+    auto st = obd.block(j);
+    std::size_t base = j * obd.block_size;
+    std::size_t len = obd.block_length(j);
+    for (std::size_t kk = 0; kk < len; ++kk) {
+      inner_type x = st.next();
+      ::new (sizes.data() + base + kk) std::size_t(x.size());
+    }
+  }
+  auto [off, m] = array_ops::size_offsets(
+      outer_n, [p = sizes.data()](std::size_t idx) { return p[idx]; });
+  auto offsets = std::make_shared<parray<std::size_t>>(std::move(off));
+  return flatten_bid<OuterBid>(nullptr, obd, std::move(offsets), m,
+                               block_size());
+}
+
+}  // namespace detail
+
 // Force the outer sequence to an array of random-access inner sequences,
-// scan the lengths for offsets, and expose the concatenation as a BID whose
-// blocks walk the inner sequences via getRegion (Fig. 3). Eager work is
+// scan the lengths for offsets, and expose the concatenation as a BID
+// walking the inner sequences via getRegion (Fig. 3). Eager work is
 // proportional to the *outer* length only; the per-block binary searches
 // and all element evaluation are delayed.
+//
+// Under an active memory budget (memory/budget.hpp), if forcing all the
+// inners is refused even after the retry ladder, flatten degrades to the
+// recompute mode above instead of failing: the pipeline completes within
+// the budget at the cost of re-evaluating inner sequences on demand.
 template <typename Seq>
 [[nodiscard]] auto flatten(const Seq& s) {
   auto outer = as_seq(s);
@@ -380,11 +522,17 @@ template <typename Seq>
     // Inner sequences must be random-access (Fig. 10 line 45 forces them).
     return flatten(map([](const inner_type& b) { return force(b); }, outer));
   } else {
-    auto inners =
-        std::make_shared<parray<inner_type>>(to_array(outer));
-    auto [offsets, m] = detail::piece_offsets(*inners);
-    return region_bid(std::move(inners), std::move(offsets), m,
-                      block_size());
+    auto obd = bid_of(outer);
+    using outer_bid = decltype(obd);
+    try {
+      auto inners = std::make_shared<parray<inner_type>>(to_array(obd));
+      auto [offsets, m] = detail::piece_offsets(*inners);
+      return detail::flatten_bid<outer_bid>(std::move(inners), obd,
+                                            std::move(offsets), m,
+                                            block_size());
+    } catch (const budget_exceeded&) {
+      return detail::flatten_chunked(obd);
+    }
   }
 }
 

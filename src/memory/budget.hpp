@@ -1,0 +1,180 @@
+// Memory budget governor: a byte budget on live tracked allocations.
+//
+// The paper's value proposition is bounded space — delayed pipelines exist
+// to keep max residency low (§6.3) — and tracking.hpp *measures* that
+// residency byte-exactly. This header *enforces* it: a process-wide limit
+// (env PBDS_BUDGET_BYTES, or RAII-scoped via budget_scope) checked at the
+// single allocation choke point (tracking.hpp's admit/commit pair). An
+// allocation that would push bytes_live past the limit is refused with
+// pbds::budget_exceeded — an exception carrying requested/live/limit that
+// propagates through the fork-join cancellation protocol like any other
+// failure, so "out of budget" is a catchable, replayable error instead of
+// an OOM kill.
+//
+// Admission is reservation-based and race-tight: admit_alloc (tracking.hpp)
+// reserves the requested bytes against the limit with a fetch_add before
+// the real allocation, and note_alloc converts the reservation into live
+// bytes afterwards. Two threads racing past a naive check-then-allocate
+// could overcommit; with the reservation they cannot — the governor is
+// byte-exact even under the real pool.
+//
+// Degradation ladder (DESIGN.md §7): a refused materialization is first
+// retried after an exponential-backoff drain (concurrent pipelines may be
+// releasing memory), and flatten falls back to bounded-chunk recompute
+// materialization (delayed.hpp) before the refusal is surfaced.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+namespace pbds {
+
+// Thrown when admitting an allocation would push live tracked bytes past
+// the active budget. Derives from std::bad_alloc so every existing
+// out-of-memory tolerance path (guarded construction, leak guarantees,
+// cancellation propagation) treats a budget refusal exactly like the real
+// allocator failing.
+class budget_exceeded : public std::bad_alloc {
+ public:
+  budget_exceeded(std::size_t requested, std::int64_t live,
+                  std::int64_t limit) noexcept
+      : requested_(requested), live_(live), limit_(limit) {
+    std::snprintf(what_, sizeof(what_),
+                  "pbds::budget_exceeded: requested %zu bytes with %lld "
+                  "live of a %lld-byte budget",
+                  requested, static_cast<long long>(live),
+                  static_cast<long long>(limit));
+  }
+
+  [[nodiscard]] const char* what() const noexcept override { return what_; }
+
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::int64_t live() const noexcept { return live_; }
+  [[nodiscard]] std::int64_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t requested_;
+  std::int64_t live_;
+  std::int64_t limit_;
+  // Fixed buffer: composing the message must not allocate — we are, by
+  // definition, out of budget when this is constructed.
+  char what_[160];
+};
+
+namespace memory {
+
+namespace detail {
+
+// Strict parse of PBDS_BUDGET_BYTES, mirroring the PBDS_NUM_THREADS
+// treatment in scheduler.hpp: full-string integer >= 1, warn once and fall
+// back to unlimited on garbage.
+inline std::int64_t budget_limit_from_env() {
+  const char* env = std::getenv("PBDS_BUDGET_BYTES");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(env, &end, 10);
+  if (end != env && *end == '\0' && errno != ERANGE && v >= 1) {
+    return static_cast<std::int64_t>(v);
+  }
+  std::fprintf(stderr,
+               "pbds: ignoring malformed PBDS_BUDGET_BYTES='%s' "
+               "(expected an integer >= 1); running without a budget\n",
+               env);
+  return 0;
+}
+
+// 0 = unlimited. Initialized from the environment on first touch.
+inline std::atomic<std::int64_t>& budget_limit_slot() {
+  static std::atomic<std::int64_t> limit{budget_limit_from_env()};
+  return limit;
+}
+
+// Bytes admitted but not yet converted to bytes_live (see tracking.hpp's
+// admit/commit pair). Counted against the limit so concurrent admissions
+// cannot overcommit.
+inline std::atomic<std::int64_t> g_budget_reserved{0};
+
+// Total refusals, for tests and the watchdog's diagnostic dump.
+inline std::atomic<std::int64_t> g_budget_refusals{0};
+
+// Drain/backoff retry policy for budget-aware materialization paths.
+inline std::atomic<int> g_budget_retries{2};
+inline std::atomic<std::int64_t> g_budget_backoff_us{50};
+
+}  // namespace detail
+
+[[nodiscard]] inline std::int64_t budget_limit() {
+  return detail::budget_limit_slot().load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool budget_active() { return budget_limit() > 0; }
+
+// Set (or clear, with 0) the process-wide budget. Prefer budget_scope.
+inline void set_budget_limit(std::int64_t bytes) {
+  detail::budget_limit_slot().store(bytes, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::int64_t budget_refusals() {
+  return detail::g_budget_refusals.load(std::memory_order_relaxed);
+}
+
+// Configure the drain/backoff ladder used by budget_retry: `retries`
+// re-attempts, sleeping `backoff_us << attempt` microseconds before each,
+// giving concurrently-finishing pipelines a chance to release memory.
+inline void set_budget_retry_policy(int retries, std::int64_t backoff_us) {
+  detail::g_budget_retries.store(retries < 0 ? 0 : retries,
+                                 std::memory_order_relaxed);
+  detail::g_budget_backoff_us.store(backoff_us < 0 ? 0 : backoff_us,
+                                    std::memory_order_relaxed);
+}
+
+// RAII budget: tightens the process-wide limit to min(enclosing, bytes)
+// for the scope's lifetime, so nested scopes compose (an inner scope can
+// only restrict, never loosen, what the outer one granted).
+class budget_scope {
+ public:
+  explicit budget_scope(std::int64_t bytes) : saved_(budget_limit()) {
+    std::int64_t eff = (saved_ > 0 && saved_ < bytes) ? saved_ : bytes;
+    set_budget_limit(eff);
+  }
+
+  ~budget_scope() { set_budget_limit(saved_); }
+
+  budget_scope(const budget_scope&) = delete;
+  budget_scope& operator=(const budget_scope&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
+
+// Run `f`, retrying on budget_exceeded after an exponential-backoff drain
+// (the configured number of times). The first rung of the degradation
+// ladder: a refusal may be transient pressure from a concurrent pipeline
+// that is about to release its intermediates. `f` must be safe to re-run
+// from scratch (every materialization path here is: a refused attempt
+// unwinds with bytes_live back at its entry value).
+template <typename F>
+auto budget_retry(const F& f) -> decltype(f()) {
+  int attempts = detail::g_budget_retries.load(std::memory_order_relaxed);
+  std::int64_t backoff =
+      detail::g_budget_backoff_us.load(std::memory_order_relaxed);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return f();
+    } catch (const budget_exceeded&) {
+      if (attempt >= attempts) throw;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff << attempt));
+    }
+  }
+}
+
+}  // namespace memory
+}  // namespace pbds

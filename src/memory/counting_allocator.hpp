@@ -23,11 +23,12 @@ class counting_allocator {
   counting_allocator(const counting_allocator<U>&) noexcept {}  // NOLINT
 
   T* allocate(std::size_t n) {
-    maybe_inject_alloc_fault();
-    // Count only after the allocation succeeded, so a throw (real or
-    // injected) leaves the accounting untouched.
+    // Admission runs the fault injector and the budget check; commit only
+    // after the allocation succeeded, so a throw (real, injected, or a
+    // budget refusal) leaves the accounting untouched.
+    alloc_admission adm(n * sizeof(T));
     T* p = static_cast<T*>(::operator new(n * sizeof(T)));
-    note_alloc(n * sizeof(T));
+    adm.commit();
     return p;
   }
 

@@ -21,6 +21,12 @@
 // tests (tests/test_fault_injection.cpp) use to prove that scan partials,
 // filter pack buffers and flatten offsets never leak on out-of-memory
 // paths.
+//
+// The same choke point enforces the memory budget (budget.hpp): call sites
+// bracket the real allocation with admit_alloc (fault injection + budget
+// reservation; throws budget_exceeded on refusal) and note_alloc (converts
+// the reservation into live bytes). If the real allocator throws between
+// the two, retract_admission returns the reserved bytes.
 #pragma once
 
 #include <atomic>
@@ -28,6 +34,8 @@
 #include <cstdint>
 #include <exception>
 #include <new>
+
+#include "memory/budget.hpp"
 
 namespace pbds::memory {
 
@@ -229,6 +237,62 @@ class scoped_alloc_faults {
 
   std::int64_t start_count_;
   bool owner_ = true;
+};
+
+// --- allocation admission (fault injection + budget) -------------------------
+//
+// The single choke point every tracked allocation passes through. Call
+// sites bracket the real allocation:
+//
+//   alloc_admission adm(bytes);     // may throw bad_alloc / budget_exceeded
+//   p = ::operator new(bytes);      // may throw the real bad_alloc
+//   adm.commit();                   // note_alloc + release the reservation
+//
+// Admission first runs the fault injector, then — when a budget is active
+// (budget.hpp) — reserves `bytes` against the limit with a fetch_add, so
+// two threads racing through admission cannot jointly overcommit. If the
+// allocation is abandoned (real allocator threw), the destructor retracts
+// the reservation; commit() converts it into live bytes.
+class alloc_admission {
+ public:
+  explicit alloc_admission(std::size_t bytes) : bytes_(bytes) {
+    maybe_inject_alloc_fault();
+    std::int64_t limit = budget_limit();
+    if (limit <= 0) return;
+    auto b = static_cast<std::int64_t>(bytes);
+    std::int64_t reserved =
+        detail::g_budget_reserved.fetch_add(b, std::memory_order_relaxed);
+    reserved_ = true;
+    if (bytes_live() + reserved + b > limit) {
+      retract();
+      detail::g_budget_refusals.fetch_add(1, std::memory_order_relaxed);
+      throw budget_exceeded(bytes, bytes_live(), limit);
+    }
+  }
+
+  ~alloc_admission() { retract(); }
+
+  alloc_admission(const alloc_admission&) = delete;
+  alloc_admission& operator=(const alloc_admission&) = delete;
+
+  // The allocation succeeded: account it and drop the reservation (the
+  // bytes are now counted in bytes_live instead).
+  void commit() {
+    retract();
+    note_alloc(bytes_);
+  }
+
+ private:
+  void retract() {
+    if (reserved_) {
+      detail::g_budget_reserved.fetch_sub(static_cast<std::int64_t>(bytes_),
+                                          std::memory_order_relaxed);
+      reserved_ = false;
+    }
+  }
+
+  std::size_t bytes_;
+  bool reserved_ = false;
 };
 
 // Collects the first exception thrown across concurrently executing loop

@@ -28,8 +28,27 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <exception>
+#include <mutex>
+#include <stdexcept>
 #include <utility>
+#include <vector>
+
+namespace pbds {
+
+// Thrown at the root join of a fork-join region that the watchdog
+// (scheduler.hpp) cancelled — either its deadline expired or the pool made
+// no global progress for the configured number of watchdog intervals. The
+// region collapses through the normal cancellation protocol, so the pool
+// is quiescent and reusable when this surfaces.
+class stall_detected : public std::runtime_error {
+ public:
+  explicit stall_detected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace pbds
 
 namespace pbds::sched {
 
@@ -74,7 +93,60 @@ namespace detail {
 // (job::execute), so the pointer follows the *computation*, not the
 // thread.
 inline thread_local cancel_state* tl_cancel = nullptr;
+
+// --- active-region registry (watchdog support) -----------------------------
+//
+// When region tracking is on (watchdog running, or the current root has a
+// deadline), every *root* cancel_scope registers its cancel_state here so
+// the watchdog thread can cancel a stuck or expired region from outside.
+// Off by default: the only cost on the fork hot path is one relaxed load
+// plus a thread-local deadline check, both in the root-only branch.
+inline std::atomic<bool> g_region_tracking{false};
+
+// Deadline installed by region_deadline (parallel.hpp's deadline-taking
+// overloads); time_point::max() means none.
+inline thread_local std::chrono::steady_clock::time_point tl_deadline =
+    std::chrono::steady_clock::time_point::max();
+
+struct region_entry {
+  cancel_state* state;
+  std::chrono::steady_clock::time_point deadline;  // max() = none
+};
+
+inline std::mutex& region_registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+inline std::vector<region_entry>& region_registry() {
+  static std::vector<region_entry> v;
+  return v;
+}
+
+inline void register_region(cancel_state* cs,
+                            std::chrono::steady_clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(region_registry_mutex());
+  region_registry().push_back({cs, deadline});
+}
+
+inline void unregister_region(cancel_state* cs) {
+  std::lock_guard<std::mutex> lock(region_registry_mutex());
+  auto& v = region_registry();
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->state == cs) {
+      v.erase(it);
+      return;
+    }
+  }
+}
 }  // namespace detail
+
+// Number of fork-join regions currently registered for watchdog
+// observation (those with a deadline, or all roots while tracking is on).
+[[nodiscard]] inline std::size_t active_tracked_regions() {
+  std::lock_guard<std::mutex> lock(detail::region_registry_mutex());
+  return detail::region_registry().size();
+}
 
 [[nodiscard]] inline cancel_state* current_cancel() noexcept {
   return detail::tl_cancel;
@@ -92,11 +164,23 @@ inline thread_local cancel_state* tl_cancel = nullptr;
 // just hand back the enclosing state.
 class cancel_scope {
  public:
-  cancel_scope() noexcept : root_(detail::tl_cancel == nullptr) {
-    if (root_) detail::tl_cancel = &local_;
+  cancel_scope() : root_(detail::tl_cancel == nullptr) {
+    if (root_) {
+      detail::tl_cancel = &local_;
+      // Publish the region to the watchdog when tracking is on or this
+      // root carries a deadline. Root scopes only — one registration per
+      // top-level region, not per nested fork.
+      auto deadline = detail::tl_deadline;
+      if (detail::g_region_tracking.load(std::memory_order_relaxed) ||
+          deadline != std::chrono::steady_clock::time_point::max()) {
+        detail::register_region(&local_, deadline);
+        registered_ = true;
+      }
+    }
   }
 
   ~cancel_scope() {
+    if (registered_) detail::unregister_region(&local_);
     if (root_) detail::tl_cancel = nullptr;
   }
 
@@ -109,6 +193,25 @@ class cancel_scope {
  private:
   cancel_state local_;  // used only when this scope is the root
   bool root_;
+  bool registered_ = false;
+};
+
+// RAII deadline for the next root region entered on this thread (installed
+// by the deadline-taking fork2join / parallel_for overloads). Saving and
+// restoring makes nesting well-defined: the innermost deadline wins for
+// regions rooted inside it.
+class region_deadline {
+ public:
+  explicit region_deadline(std::chrono::steady_clock::time_point deadline)
+      : saved_(detail::tl_deadline) {
+    detail::tl_deadline = deadline;
+  }
+  ~region_deadline() { detail::tl_deadline = saved_; }
+  region_deadline(const region_deadline&) = delete;
+  region_deadline& operator=(const region_deadline&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point saved_;
 };
 
 // Suppress cancellation for a lexical region: forks below run as fresh

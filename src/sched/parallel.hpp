@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <utility>
@@ -176,6 +177,44 @@ void parallel_for(std::size_t lo, std::size_t hi, const F& f,
 template <typename F>
 void apply(std::size_t n, const F& f) {
   parallel_for(0, n, f, 1);
+}
+
+// --- deadline overloads -----------------------------------------------------
+//
+// Run a fork-join region with a wall-clock deadline. The deadline is
+// installed thread-locally for the *next root region* entered here; the
+// root's cancel_scope registers itself with the watchdog's region
+// registry, and a (possibly deadline-only) watchdog thread cancels the
+// region once the deadline passes — the root join then throws
+// pbds::stall_detected through the ordinary cancellation protocol.
+//
+// Caveats (by design, documented in DESIGN.md §"Resource governance"):
+// enforcement is cooperative and asynchronous — work stops at the next
+// fork or granularity-chunk boundary after the watchdog notices, so a
+// single long-running leaf overruns its deadline undetected until it
+// yields control. Paths that never enter the cancellation machinery
+// (sequential mode; a 1-worker pool's inline fast path; calls from
+// threads outside the pool) run to completion and ignore the deadline.
+// In deterministic mode the deadline is ignored too — wall-clock cutoffs
+// are inherently non-replayable; use det_scheduler::arm_stall_after for a
+// seed-stable stand-in.
+
+template <typename L, typename R>
+void fork2join(L&& left, R&& right, std::chrono::milliseconds deadline) {
+  if (sched::current_exec_mode() == sched::exec_mode::parallel)
+    sched::ensure_watchdog_for_deadlines();
+  sched::region_deadline guard(std::chrono::steady_clock::now() + deadline);
+  fork2join(std::forward<L>(left), std::forward<R>(right));
+}
+
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, const F& f,
+                  std::size_t granularity,
+                  std::chrono::milliseconds deadline) {
+  if (sched::current_exec_mode() == sched::exec_mode::parallel)
+    sched::ensure_watchdog_for_deadlines();
+  sched::region_deadline guard(std::chrono::steady_clock::now() + deadline);
+  parallel_for(lo, hi, f, granularity);
 }
 
 }  // namespace pbds

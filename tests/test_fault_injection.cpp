@@ -19,6 +19,7 @@
 
 #include "array/parray.hpp"
 #include "benchmarks/policies.hpp"
+#include "memory/budget.hpp"
 #include "memory/counting_allocator.hpp"
 #include "memory/tracking.hpp"
 #include "sched/deterministic.hpp"
@@ -281,6 +282,37 @@ TEST(FaultInjection, ProbabilityModeLeakFreeAcrossSeeds) {
   }
   // With ~dozens of allocations per run at p=0.05, some runs must fault.
   EXPECT_GT(faulted_runs, 0);
+}
+
+// Budget admission runs the fault injector first: with both active, an
+// injected fault wins (it throws plain bad_alloc, not budget_exceeded) and
+// neither mechanism leaks reservation or live bytes.
+TEST(FaultInjection, ComposesWithBudgetWithoutLeaking) {
+  sched::scoped_sequential seq;
+  std::int64_t baseline = memory::bytes_live();
+  {
+    memory::budget_scope budget(static_cast<std::size_t>(baseline) +
+                                (1u << 20));
+    auto faults = memory::scoped_alloc_faults::fail_nth(1);
+    bool injected = false;
+    try {
+      auto a = parray<char>::uninitialized(64);
+      auto b = parray<char>::uninitialized(64);  // injector fires here
+      (void)a;
+      (void)b;
+    } catch (const pbds::budget_exceeded&) {
+      ADD_FAILURE() << "injected fault misreported as a budget refusal";
+    } catch (const std::bad_alloc&) {
+      injected = true;
+    }
+    EXPECT_TRUE(injected);
+    EXPECT_EQ(memory::bytes_live(), baseline);
+    // The budget is still enforced after the injected fault: the refusal
+    // path must not have left a stale reservation behind.
+    EXPECT_THROW(parray<char>::uninitialized(2u << 20),
+                 pbds::budget_exceeded);
+    EXPECT_EQ(memory::bytes_live(), baseline);
+  }
 }
 
 }  // namespace

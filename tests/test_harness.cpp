@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "array/parray.hpp"
@@ -79,6 +84,137 @@ TEST(Harness, RatioAndMb) {
   EXPECT_EQ(bc::ratio(10.0, 4.0), 2.5);
   EXPECT_EQ(bc::ratio(10.0, 0.0), 0.0);
   EXPECT_EQ(bc::mb(1024 * 1024), 1.0);
+}
+
+// --- strict argument validation ----------------------------------------------
+//
+// Malformed values for recognized flags must exit(2) with a message, not
+// silently become 0 the way atoi/atof did.
+
+TEST(HarnessDeathTest, RejectsMalformedRepeat) {
+  EXPECT_EXIT(parse({"--repeat", "abc"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+  EXPECT_EXIT(parse({"--repeat", "0"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+  EXPECT_EXIT(parse({"--repeat", "3x"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+}
+
+TEST(HarnessDeathTest, RejectsMalformedScaleAndWarmup) {
+  EXPECT_EXIT(parse({"--scale", "zero"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+  EXPECT_EXIT(parse({"--scale", "0"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+  EXPECT_EXIT(parse({"--scale", "-1"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+  EXPECT_EXIT(parse({"--warmup", "-0.5"}), ::testing::ExitedWithCode(2),
+              "invalid value");
+}
+
+TEST(HarnessDeathTest, RejectsMalformedProcsList) {
+  EXPECT_EXIT(parse({"--procs", "1,,4"}), ::testing::ExitedWithCode(2),
+              "invalid --procs");
+  EXPECT_EXIT(parse({"--procs", "1;4"}), ::testing::ExitedWithCode(2),
+              "invalid --procs");
+  EXPECT_EXIT(parse({"--procs", "0"}), ::testing::ExitedWithCode(2),
+              "invalid --procs");
+}
+
+TEST(HarnessDeathTest, RejectsMissingValue) {
+  EXPECT_EXIT(parse({"--repeat"}), ::testing::ExitedWithCode(2),
+              "requires a value");
+}
+
+// --- subprocess isolation ------------------------------------------------------
+
+TEST(Isolation, ChildMeasurementRoundTrips) {
+  auto r = bc::run_isolated(
+      [] {
+        bc::measurement m;
+        m.seconds = 1.5;
+        m.peak_bytes = 12345;
+        m.allocated_bytes = 67890;
+        return m;
+      },
+      /*timeout_sec=*/30, /*max_retries=*/0);
+  ASSERT_EQ(r.status, bc::run_status::ok);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_DOUBLE_EQ(r.m.seconds, 1.5);
+  EXPECT_EQ(r.m.peak_bytes, 12345);
+  EXPECT_EQ(r.m.allocated_bytes, 67890);
+}
+
+TEST(Isolation, TimeoutKillsWedgedChild) {
+  auto r = bc::run_isolated(
+      [] {
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+        return bc::measurement{};
+      },
+      /*timeout_sec=*/0.3, /*max_retries=*/0);
+  EXPECT_EQ(r.status, bc::run_status::timeout);
+  EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(Isolation, CrashIsClassifiedAndRetriedBoundedly) {
+  auto r = bc::run_isolated(
+      []() -> bc::measurement { std::abort(); },
+      /*timeout_sec=*/30, /*max_retries=*/2, /*backoff_ms=*/1);
+  EXPECT_EQ(r.status, bc::run_status::crashed);
+  EXPECT_EQ(r.attempts, 3);  // initial + 2 retries, then gave up
+}
+
+TEST(Isolation, BudgetRefusalIsNotRetried) {
+  auto r = bc::run_isolated(
+      []() -> bc::measurement {
+        throw pbds::budget_exceeded(1024, 0, 512);
+      },
+      /*timeout_sec=*/30, /*max_retries=*/3, /*backoff_ms=*/1);
+  EXPECT_EQ(r.status, bc::run_status::budget_exceeded);
+  EXPECT_EQ(r.attempts, 1);  // deterministic refusal: no point retrying
+}
+
+TEST(Isolation, NonzeroExitIsError) {
+  auto r = bc::run_isolated(
+      []() -> bc::measurement { throw std::runtime_error("boom"); },
+      /*timeout_sec=*/30, /*max_retries=*/0);
+  EXPECT_EQ(r.status, bc::run_status::error);
+}
+
+// --- partial-results JSON report ----------------------------------------------
+
+TEST(JsonReport, ValidAfterEveryRecord) {
+  std::string path = ::testing::TempDir() + "pbds_report_test.json";
+  bc::json_report report(path);
+  bc::measurement m;
+  m.seconds = 0.25;
+  m.peak_bytes = 1024;
+  m.allocated_bytes = 2048;
+  report.add({"linefit", "delay", bc::run_status::ok, 1, m});
+
+  auto slurp = [&] {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr);
+    char buf[4096] = {0};
+    std::size_t got = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    return std::string(buf, got);
+  };
+  std::string one = slurp();
+  EXPECT_NE(one.find("\"name\": \"linefit\""), std::string::npos);
+  EXPECT_NE(one.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_EQ(one.front(), '[');
+  EXPECT_EQ(one[one.size() - 2], ']');  // trailing newline after ]
+
+  // A timed-out configuration is recorded too, and the file stays a
+  // complete JSON document after the partial rewrite.
+  report.add({"bfs", "array", bc::run_status::timeout, 2,
+              bc::measurement{}});
+  std::string two = slurp();
+  EXPECT_NE(two.find("\"name\": \"bfs\""), std::string::npos);
+  EXPECT_NE(two.find("\"status\": \"timeout\""), std::string::npos);
+  EXPECT_NE(two.find("\"attempts\": 2"), std::string::npos);
+  EXPECT_EQ(two.front(), '[');
+  std::remove(path.c_str());
 }
 
 }  // namespace
