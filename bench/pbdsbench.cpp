@@ -35,6 +35,7 @@
 #include "benchmarks/spmv.hpp"
 #include "benchmarks/tokens.hpp"
 #include "benchmarks/wc.hpp"
+#include "service/soak_driver.hpp"
 
 namespace {
 
@@ -48,6 +49,7 @@ struct cli {
   std::size_t n = 0;  // 0 = per-benchmark default
   options opt;
   std::string json_path;    // empty = no JSON report
+  bool service = false;     // run the pipeline-service soak instead
   bool isolate = false;     // fork one subprocess per configuration
   double timeout_sec = 60;  // per-configuration wall clock (isolated mode)
   int retries = 1;          // max retries after timeout/crash (isolated mode)
@@ -247,6 +249,8 @@ cli parse_cli(int argc, char** argv) {
           /*inclusive=*/true);
     } else if (is("--json")) {
       c.json_path = bd::require_value("--json", i, argc, argv);
+    } else if (is("--service")) {
+      c.service = true;
     } else if (is("--isolate")) {
       c.isolate = true;
     } else if (is("--timeout")) {
@@ -267,7 +271,10 @@ cli parse_cli(int argc, char** argv) {
           "usage: %s [--bench NAME|all] [--impl array|rad|delay|all]\n"
           "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n"
           "          [--json PATH] [--isolate] [--timeout SECONDS]\n"
-          "          [--retries N]\n",
+          "          [--retries N] [--service]\n"
+          "--service runs the pipeline-service overload soak (configured\n"
+          "via PBDS_SERVICE_*; see bench/service_soak.cpp for the\n"
+          "standalone driver with per-knob flags)\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -286,6 +293,38 @@ cli parse_cli(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   cli c = parse_cli(argc, argv);
+
+  if (c.service) {
+    // Pipeline-service overload soak: closed loop at whatever pressure
+    // PBDS_SERVICE_* sets up. -n overrides the per-job pipeline size.
+    pbds::service::soak_config scfg;
+    scfg.service = pbds::service::service_config::from_env();
+    if (c.n) scfg.n = c.n;
+    auto r = pbds::service::run_soak(scfg);
+    std::printf("%-12s %-6s %12zu %10.4f %12.1f jobs/s  shed %.3f  "
+                "p99 %.2f ms\n",
+                "service-soak", "delay", scfg.n, r.seconds,
+                r.throughput_jobs_per_s, r.shed_rate, r.p99_ms);
+    if (!c.json_path.empty()) {
+      json_report report(c.json_path);
+      measurement m{};
+      m.seconds = r.seconds;
+      report.add({"service-soak",
+                  "delay",
+                  run_status::ok,
+                  1,
+                  m,
+                  {{"throughput_jobs_per_s", r.throughput_jobs_per_s},
+                   {"shed_rate", r.shed_rate},
+                   {"p50_ms", r.p50_ms},
+                   {"p99_ms", r.p99_ms},
+                   {"completed", static_cast<double>(r.stats.completed)},
+                   {"breaker_trips",
+                    static_cast<double>(r.stats.breaker_trips)}}});
+      if (!report.ok()) return 1;
+    }
+    return 0;
+  }
 
   auto reg = registry();
   std::vector<std::string> benches;

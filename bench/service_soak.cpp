@@ -1,0 +1,131 @@
+// service_soak — closed-loop overload soak for the pipeline service.
+//
+// Drives pipeline_service with more producers than it can absorb and
+// reports throughput, shed rate, and completed-job latency percentiles
+// (p50/p99). The CI soak job runs this at 2× capacity with a constrained
+// PBDS_BUDGET_BYTES and the watchdog armed: the assertion is simply that
+// it finishes — no hang, no abort, shed work accounted for — and the
+// json_report row records how it degraded.
+//
+// Service knobs come from PBDS_SERVICE_* (service_config::from_env) and
+// can be overridden by flags.
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "bench_common/harness.hpp"
+#include "service/soak_driver.hpp"
+
+int main(int argc, char** argv) {
+  namespace bd = pbds::bench_common::detail;
+  using namespace pbds::service;  // NOLINT
+  soak_config cfg;
+  cfg.service = service_config::from_env();
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto is = [&](const char* f) { return std::strcmp(argv[i], f) == 0; };
+    if (is("--producers")) {
+      cfg.producers = static_cast<unsigned>(bd::parse_long_arg(
+          "--producers", bd::require_value("--producers", i, argc, argv), 1,
+          1024));
+    } else if (is("--jobs")) {
+      cfg.jobs_per_producer = static_cast<std::size_t>(bd::parse_long_arg(
+          "--jobs", bd::require_value("--jobs", i, argc, argv), 1,
+          std::numeric_limits<long>::max()));
+    } else if (is("-n")) {
+      cfg.n = static_cast<std::size_t>(
+          bd::parse_long_arg("-n", bd::require_value("-n", i, argc, argv), 1,
+                             std::numeric_limits<long>::max()));
+    } else if (is("--seed")) {
+      cfg.seed = static_cast<std::uint64_t>(bd::parse_long_arg(
+          "--seed", bd::require_value("--seed", i, argc, argv), 0,
+          std::numeric_limits<long>::max()));
+    } else if (is("--poison")) {
+      cfg.poison_class = static_cast<int>(bd::parse_long_arg(
+          "--poison", bd::require_value("--poison", i, argc, argv), 0, 3));
+    } else if (is("--budget")) {
+      cfg.job_budget_bytes = bd::parse_long_arg(
+          "--budget", bd::require_value("--budget", i, argc, argv), 1,
+          std::numeric_limits<long>::max());
+    } else if (is("--deadline-ms")) {
+      cfg.job_deadline_ms = bd::parse_long_arg(
+          "--deadline-ms", bd::require_value("--deadline-ms", i, argc, argv),
+          1, 3600000);
+    } else if (is("--queue-cap")) {
+      cfg.service.queue_capacity = static_cast<std::size_t>(bd::parse_long_arg(
+          "--queue-cap", bd::require_value("--queue-cap", i, argc, argv), 1,
+          1 << 20));
+    } else if (is("--policy")) {
+      cfg.service.policy = static_cast<backpressure>(bd::parse_long_arg(
+          "--policy", bd::require_value("--policy", i, argc, argv), 0, 2));
+    } else if (is("--dispatchers")) {
+      cfg.service.dispatchers = static_cast<unsigned>(bd::parse_long_arg(
+          "--dispatchers", bd::require_value("--dispatchers", i, argc, argv),
+          1, 64));
+    } else if (is("--json")) {
+      json_path = bd::require_value("--json", i, argc, argv);
+    } else if (is("--help") || is("-h")) {
+      std::printf(
+          "usage: %s [--producers P] [--jobs J] [-n SIZE] [--seed S]\n"
+          "          [--poison CLASS] [--budget BYTES] [--deadline-ms MS]\n"
+          "          [--queue-cap Q] [--policy 0|1|2] [--dispatchers D]\n"
+          "          [--json PATH]\n"
+          "policy: 0 = block, 1 = reject, 2 = shed_oldest\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto r = run_soak(cfg);
+  std::printf(
+      "service-soak: %llu submitted, %llu completed, %llu rejected, "
+      "%llu shed, %llu cancelled, %llu failed\n"
+      "  throughput %.1f jobs/s, shed rate %.3f, p50 %.2f ms, p99 %.2f ms, "
+      "retries %llu, breaker trips %llu, trace hash %016llx\n",
+      static_cast<unsigned long long>(r.stats.submitted),
+      static_cast<unsigned long long>(r.stats.completed),
+      static_cast<unsigned long long>(r.stats.rejected),
+      static_cast<unsigned long long>(r.stats.shed),
+      static_cast<unsigned long long>(r.stats.cancelled),
+      static_cast<unsigned long long>(r.stats.failed),
+      r.throughput_jobs_per_s, r.shed_rate, r.p50_ms, r.p99_ms,
+      static_cast<unsigned long long>(r.stats.retries),
+      static_cast<unsigned long long>(r.stats.breaker_trips),
+      static_cast<unsigned long long>(r.trace_hash));
+
+  if (!json_path.empty()) {
+    using pbds::bench_common::json_report;
+    using pbds::bench_common::measurement;
+    using pbds::bench_common::run_status;
+    json_report report(json_path);
+    measurement m{};
+    m.seconds = r.seconds;
+    report.add({"service-soak",
+                "delay",
+                run_status::ok,
+                1,
+                m,
+                {{"throughput_jobs_per_s", r.throughput_jobs_per_s},
+                 {"shed_rate", r.shed_rate},
+                 {"p50_ms", r.p50_ms},
+                 {"p99_ms", r.p99_ms},
+                 {"completed", static_cast<double>(r.stats.completed)},
+                 {"rejected", static_cast<double>(r.stats.rejected)},
+                 {"shed", static_cast<double>(r.stats.shed)},
+                 {"cancelled", static_cast<double>(r.stats.cancelled)},
+                 {"failed", static_cast<double>(r.stats.failed)},
+                 {"retries", static_cast<double>(r.stats.retries)},
+                 {"breaker_trips",
+                  static_cast<double>(r.stats.breaker_trips)}}});
+    if (!report.ok()) {
+      std::fprintf(stderr, "service-soak: report not persisted: %s\n",
+                   report.last_error().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

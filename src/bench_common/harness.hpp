@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <sys/types.h>
@@ -406,6 +407,10 @@ class json_report {
     run_status status = run_status::ok;
     int attempts = 1;
     measurement m;
+    // Free-form numeric metrics appended to the JSON object (service soak:
+    // throughput, shed_rate, p99_ms, ...). Last field so existing
+    // five-element aggregate initializers keep compiling.
+    std::vector<std::pair<std::string, double>> extra = {};
   };
 
   void add(record rec) {
@@ -415,6 +420,14 @@ class json_report {
 
   [[nodiscard]] const std::vector<record>& records() const {
     return records_;
+  }
+
+  // False when the last flush could not be fully persisted (open, write,
+  // close, or rename failed — e.g. ENOSPC/EIO); the previous complete
+  // report file, if any, is left in place rather than a truncated one.
+  [[nodiscard]] bool ok() const noexcept { return last_error_.empty(); }
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
   }
 
  private:
@@ -429,12 +442,17 @@ class json_report {
     }
   }
 
+  void fail(const char* what, const std::string& path) const {
+    last_error_ = std::string(what) + " " + path + ": " + std::strerror(errno);
+    std::fprintf(stderr, "harness: %s\n", last_error_.c_str());
+  }
+
   void flush() const {
+    last_error_.clear();
     std::string tmp = path_ + ".tmp";
     std::FILE* out = std::fopen(tmp.c_str(), "w");
     if (out == nullptr) {
-      std::fprintf(stderr, "harness: cannot write %s: %s\n", tmp.c_str(),
-                   std::strerror(errno));
+      fail("cannot open", tmp);
       return;
     }
     std::fprintf(out, "[\n");
@@ -447,22 +465,40 @@ class json_report {
       std::fprintf(out,
                    "\", \"status\": \"%s\", \"attempts\": %d, "
                    "\"seconds\": %.9g, \"peak_bytes\": %lld, "
-                   "\"allocated_bytes\": %lld}%s\n",
+                   "\"allocated_bytes\": %lld",
                    to_string(r.status), r.attempts, r.m.seconds,
                    static_cast<long long>(r.m.peak_bytes),
-                   static_cast<long long>(r.m.allocated_bytes),
-                   i + 1 < records_.size() ? "," : "");
+                   static_cast<long long>(r.m.allocated_bytes));
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(out, ", \"");
+        write_escaped(out, key);
+        std::fprintf(out, "\": %.9g", value);
+      }
+      std::fprintf(out, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
-    std::fclose(out);
+    // A short write (ENOSPC, EIO) sets the stream error flag; fflush and
+    // fclose surface anything still buffered. On any failure, discard the
+    // tmp file and keep the previous complete report — publishing
+    // truncated JSON via the rename would defeat the whole tmp+rename
+    // scheme.
+    bool write_error = std::ferror(out) != 0;
+    if (std::fflush(out) != 0) write_error = true;
+    if (std::fclose(out) != 0) write_error = true;
+    if (write_error) {
+      fail("write failed for", tmp);
+      std::remove(tmp.c_str());
+      return;
+    }
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-      std::fprintf(stderr, "harness: cannot rename %s -> %s: %s\n",
-                   tmp.c_str(), path_.c_str(), std::strerror(errno));
+      fail("cannot rename", tmp);
+      std::remove(tmp.c_str());
     }
   }
 
   std::string path_;
   std::vector<record> records_;
+  mutable std::string last_error_;
 };
 
 }  // namespace pbds::bench_common

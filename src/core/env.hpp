@@ -1,0 +1,56 @@
+// Strict environment-variable parsing, shared by every PBDS_* knob.
+//
+// PBDS_NUM_THREADS, PBDS_WATCHDOG_MS, PBDS_BUDGET_BYTES and the
+// PBDS_SERVICE_* knobs all follow the same contract: a knob is either a
+// full-string integer inside its documented range, or it is *ignored* with
+// a single warning on stderr — a malformed value must never silently
+// misconfigure the pool, the watchdog, or the service. This header is the
+// one implementation of that contract (it used to be hand-rolled
+// strtol+range-check+warn-once at each call site).
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pbds::detail {
+
+// True the first time `name` is passed, false afterwards: each knob warns
+// about a malformed value once per process, not once per read.
+inline bool first_warning_for(const char* name) {
+  static std::mutex m;
+  static std::vector<std::string> warned;
+  std::lock_guard<std::mutex> lock(m);
+  for (const auto& w : warned)
+    if (w == name) return false;
+  warned.emplace_back(name);
+  return true;
+}
+
+// Read environment integer `name`. Returns `fallback` when the variable is
+// unset; returns the parsed value when it is a full-string integer in
+// [lo, hi]; otherwise warns once on stderr and returns `fallback`.
+inline long long env_integer(const char* name, long long lo, long long hi,
+                             long long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(env, &end, 10);
+  if (end != env && *end == '\0' && errno != ERANGE && v >= lo && v <= hi) {
+    return v;
+  }
+  if (first_warning_for(name)) {
+    std::fprintf(stderr,
+                 "pbds: ignoring malformed %s='%s' (expected an integer in "
+                 "[%lld, %lld]); using %lld\n",
+                 name, env, lo, hi, fallback);
+  }
+  return fallback;
+}
+
+}  // namespace pbds::detail

@@ -30,8 +30,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <mutex>
 #include <new>
 #include <thread>
+#include <vector>
+
+#include "core/env.hpp"
 
 namespace pbds {
 
@@ -71,29 +76,54 @@ namespace memory {
 
 namespace detail {
 
-// Strict parse of PBDS_BUDGET_BYTES, mirroring the PBDS_NUM_THREADS
-// treatment in scheduler.hpp: full-string integer >= 1, warn once and fall
-// back to unlimited on garbage.
+// Strict parse of PBDS_BUDGET_BYTES (pbds::detail::env_integer):
+// full-string integer >= 1, warn once and fall back to unlimited on
+// garbage.
 inline std::int64_t budget_limit_from_env() {
-  const char* env = std::getenv("PBDS_BUDGET_BYTES");
-  if (env == nullptr) return 0;
-  char* end = nullptr;
-  errno = 0;
-  long long v = std::strtoll(env, &end, 10);
-  if (end != env && *end == '\0' && errno != ERANGE && v >= 1) {
-    return static_cast<std::int64_t>(v);
-  }
-  std::fprintf(stderr,
-               "pbds: ignoring malformed PBDS_BUDGET_BYTES='%s' "
-               "(expected an integer >= 1); running without a budget\n",
-               env);
-  return 0;
+  return static_cast<std::int64_t>(pbds::detail::env_integer(
+      "PBDS_BUDGET_BYTES", 1, std::numeric_limits<long long>::max(), 0));
 }
 
-// 0 = unlimited. Initialized from the environment on first touch.
+// The *base* limit (env / set_budget_limit); 0 = unlimited. Initialized
+// from the environment on first touch. The enforced limit additionally
+// composes active budget_scopes by min — see effective_limit_slot.
 inline std::atomic<std::int64_t>& budget_limit_slot() {
   static std::atomic<std::int64_t> limit{budget_limit_from_env()};
   return limit;
+}
+
+// Active budget_scope limits, composed by min with the base limit into
+// the cached effective limit below. A registry (rather than the old
+// save/restore of a single global) makes concurrent scopes on different
+// threads — one per in-flight service job — compose correctly regardless
+// of construction/destruction order. Scope churn is per *pipeline*, not
+// per allocation, so the mutex is cold.
+inline std::mutex& scope_registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+inline std::vector<std::int64_t>& scope_registry() {
+  static std::vector<std::int64_t> v;
+  return v;
+}
+
+// Cached min(base, active scopes); 0 = unlimited. This is the only word
+// the allocation hot path reads.
+inline std::atomic<std::int64_t>& effective_limit_slot() {
+  static std::atomic<std::int64_t> limit{budget_limit_slot().load(
+      std::memory_order_relaxed)};
+  return limit;
+}
+
+// Call with scope_registry_mutex held (or from set_budget_limit, which
+// takes it).
+inline void recompute_effective_limit() {
+  std::int64_t eff = budget_limit_slot().load(std::memory_order_relaxed);
+  for (std::int64_t s : scope_registry()) {
+    if (eff <= 0 || s < eff) eff = s;
+  }
+  effective_limit_slot().store(eff, std::memory_order_relaxed);
 }
 
 // Bytes admitted but not yet converted to bytes_live (see tracking.hpp's
@@ -110,15 +140,20 @@ inline std::atomic<std::int64_t> g_budget_backoff_us{50};
 
 }  // namespace detail
 
+// The enforced limit: min of the base limit and every active
+// budget_scope; 0 = unlimited.
 [[nodiscard]] inline std::int64_t budget_limit() {
-  return detail::budget_limit_slot().load(std::memory_order_relaxed);
+  return detail::effective_limit_slot().load(std::memory_order_relaxed);
 }
 
 [[nodiscard]] inline bool budget_active() { return budget_limit() > 0; }
 
-// Set (or clear, with 0) the process-wide budget. Prefer budget_scope.
+// Set (or clear, with 0) the process-wide base budget. Prefer
+// budget_scope.
 inline void set_budget_limit(std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(detail::scope_registry_mutex());
   detail::budget_limit_slot().store(bytes, std::memory_order_relaxed);
+  detail::recompute_effective_limit();
 }
 
 [[nodiscard]] inline std::int64_t budget_refusals() {
@@ -135,24 +170,65 @@ inline void set_budget_retry_policy(int retries, std::int64_t backoff_us) {
                                     std::memory_order_relaxed);
 }
 
-// RAII budget: tightens the process-wide limit to min(enclosing, bytes)
-// for the scope's lifetime, so nested scopes compose (an inner scope can
-// only restrict, never loosen, what the outer one granted).
+// RAII budget: tightens the enforced limit to min(enclosing, bytes) for
+// the scope's lifetime, so scopes compose (an inner scope can only
+// restrict, never loosen, what the outer one granted). Scopes register in
+// a process-wide min-composed registry, so concurrent scopes on different
+// threads — e.g. one per in-flight pipeline-service job — are safe and
+// order-independent: the enforced limit is always the tightest active
+// one. Non-positive `bytes` imposes no constraint.
 class budget_scope {
  public:
-  explicit budget_scope(std::int64_t bytes) : saved_(budget_limit()) {
-    std::int64_t eff = (saved_ > 0 && saved_ < bytes) ? saved_ : bytes;
-    set_budget_limit(eff);
+  explicit budget_scope(std::int64_t bytes) : bytes_(bytes) {
+    if (bytes_ <= 0) return;
+    std::lock_guard<std::mutex> lock(detail::scope_registry_mutex());
+    detail::scope_registry().push_back(bytes_);
+    detail::recompute_effective_limit();
   }
 
-  ~budget_scope() { set_budget_limit(saved_); }
+  ~budget_scope() {
+    if (bytes_ <= 0) return;
+    std::lock_guard<std::mutex> lock(detail::scope_registry_mutex());
+    auto& v = detail::scope_registry();
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (*it == bytes_) {
+        v.erase(it);
+        break;
+      }
+    }
+    detail::recompute_effective_limit();
+  }
 
   budget_scope(const budget_scope&) = delete;
   budget_scope& operator=(const budget_scope&) = delete;
 
  private:
-  std::int64_t saved_;
+  std::int64_t bytes_;
 };
+
+// Jittered exponential backoff: delay for the `attempt`-th retry (0-based)
+// of base `base_us`, doubled per attempt, with deterministic ±50% jitter
+// drawn from splitmix64(salt ^ attempt). Seeded jitter keeps retry
+// schedules de-correlated across concurrent jobs (no thundering herd when
+// a budget refusal hits many pipelines at once) while staying a pure
+// function of (salt, attempt), so a service replay makes the same
+// decisions. Used by the pipeline service's retry ladder.
+[[nodiscard]] inline std::int64_t jittered_backoff_us(int attempt,
+                                                      std::int64_t base_us,
+                                                      std::uint64_t salt) {
+  if (base_us <= 0) return 0;
+  std::uint64_t z = salt ^ (static_cast<std::uint64_t>(attempt) + 1) *
+                               0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  std::int64_t nominal = base_us << (attempt < 20 ? attempt : 20);
+  // jitter in [-nominal/2, +nominal/2)
+  std::int64_t jitter =
+      static_cast<std::int64_t>(z % static_cast<std::uint64_t>(nominal)) -
+      nominal / 2;
+  return nominal + jitter;
+}
 
 // Run `f`, retrying on budget_exceeded after an exponential-backoff drain
 // (the configured number of times). The first rung of the degradation

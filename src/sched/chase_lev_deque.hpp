@@ -9,15 +9,16 @@
 // Capacity is fixed because the number of outstanding forked-but-unjoined
 // jobs per worker is bounded by the fork-join nesting depth (one job per
 // live fork2join frame), which for divide-and-conquer loops is
-// O(log n) and in practice far below kCapacity. Overflow aborts loudly
-// rather than corrupting state.
+// O(log n) and in practice far below kCapacity. Overflow is not fatal:
+// push_bottom refuses (returns false) and the owner executes the job
+// inline instead (parallel.hpp), trading stealable parallelism for
+// bounded state — no lost work, no abort. That graceful path is what lets
+// the capacity stay modest: it is purely a locality/stealability knob.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 
 #include "sched/job.hpp"
 
@@ -25,7 +26,7 @@ namespace pbds::sched {
 
 class chase_lev_deque {
  public:
-  static constexpr std::size_t kCapacity = 1 << 13;
+  static constexpr std::size_t kCapacity = 1 << 10;
   static constexpr std::size_t kMask = kCapacity - 1;
 
   chase_lev_deque() {
@@ -35,17 +36,13 @@ class chase_lev_deque {
   chase_lev_deque(const chase_lev_deque&) = delete;
   chase_lev_deque& operator=(const chase_lev_deque&) = delete;
 
-  // Owner only.
-  void push_bottom(job* j) {
+  // Owner only. Returns false — job NOT enqueued — when the deque is full
+  // (fork depth exceeded kCapacity); the caller must then run the job
+  // itself (fork2join executes it inline on the owner).
+  [[nodiscard]] bool push_bottom(job* j) {
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
     std::int64_t t = top_.load(std::memory_order_acquire);
-    if (b - t >= static_cast<std::int64_t>(kCapacity)) {
-      std::fprintf(stderr,
-                   "pbds::sched: work-stealing deque overflow "
-                   "(fork depth exceeded %zu)\n",
-                   kCapacity);
-      std::abort();
-    }
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
     buffer_[static_cast<std::size_t>(b) & kMask].store(
         j, std::memory_order_relaxed);
     // Publish the slot (and the job's payload) before making it visible to
@@ -56,6 +53,7 @@ class chase_lev_deque {
     // fences, so this is also what makes the deque TSan-clean; on x86 a
     // release store compiles to a plain mov, same as before.)
     bottom_.store(b + 1, std::memory_order_release);
+    return true;
   }
 
   // Owner only. Returns nullptr if the deque was empty or the last element

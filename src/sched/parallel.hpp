@@ -81,7 +81,14 @@ void fork2join(L&& left, R&& right) {
   sched::cancel_state* cs = scope.state();
   if (!scope.is_root() && cs->cancelled()) return;  // bail: sibling failed
   sched::callable_job<R> right_job(right, cs);
-  s.push(&right_job);
+  const bool pushed = s.push(&right_job);
+  if (!pushed) {
+    // Deque full (fork depth beyond kCapacity): run the right branch
+    // inline on this worker instead of aborting. Stack growth stays
+    // bounded by the recursion that got us here; no work is lost, the
+    // branch merely isn't stealable. execute captures its own throw.
+    if (right_job.execute()) s.note_subtree_failure();
+  }
   std::exception_ptr left_err;
   try {
     left();
@@ -93,17 +100,21 @@ void fork2join(L&& left, R&& right) {
     cs->capture(left_err);
     s.note_subtree_failure();
   }
-  sched::job* popped = s.try_pop();
-  if (popped != nullptr) {
-    // Fork-join discipline guarantees the bottom of our deque is exactly
-    // the job we pushed (everything pushed by `left` was joined inside it).
-    assert(popped == &right_job);
-    // execute captures its own throw (skips the payload if cancelled);
-    // whoever runs a job notes its failure, so stolen failures are noted
-    // by the thief in worker_loop / wait_until.
-    if (popped->execute()) s.note_subtree_failure();
-  } else {
-    s.wait_until(&right_job);
+  if (pushed) {
+    sched::job* popped = s.try_pop();
+    if (popped != nullptr) {
+      // Fork-join discipline guarantees the bottom of our deque is exactly
+      // the job we pushed (everything pushed by `left` was joined inside
+      // it). Had right_job been executed inline instead of pushed, this
+      // pop would hand us an *enclosing* frame's job — hence the guard.
+      assert(popped == &right_job);
+      // execute captures its own throw (skips the payload if cancelled);
+      // whoever runs a job notes its failure, so stolen failures are noted
+      // by the thief in worker_loop / wait_until.
+      if (popped->execute()) s.note_subtree_failure();
+    } else {
+      s.wait_until(&right_job);
+    }
   }
   if (scope.is_root()) {
     // First-exception-wins: exactly one exception leaves the region, on

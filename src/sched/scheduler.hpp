@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.hpp"
 #include "memory/tracking.hpp"
 #include "sched/cancellation.hpp"
 #include "sched/chase_lev_deque.hpp"
@@ -98,13 +99,24 @@ inline void maybe_inject_spawn_fault() {
 
 class scheduler {
  public:
+  // Guest slots: threads outside the pool (service dispatchers,
+  // pipeline_service.hpp) can enroll temporarily so their fork2join calls
+  // push real stealable work instead of degrading to the sequential
+  // fast path. Guests get deque/stat slots above the worker slots; pool
+  // workers include enrolled guest slots in their steal victim range.
+  static constexpr unsigned kMaxGuests = 16;
+
   explicit scheduler(unsigned num_workers)
       : num_workers_(num_workers == 0 ? 1 : num_workers),
-        deques_(num_workers_.load(std::memory_order_relaxed)),
-        stats_(num_workers_.load(std::memory_order_relaxed)) {
+        requested_(num_workers_.load(std::memory_order_relaxed)),
+        victim_bound_(requested_),
+        deques_(requested_ + kMaxGuests),
+        stats_(requested_ + kMaxGuests) {
     // Enroll the constructing thread as worker 0.
     detail::tl_worker_id = 0;
-    unsigned requested = num_workers_.load(std::memory_order_relaxed);
+    unsigned requested = requested_;
+    for (unsigned g = 0; g < kMaxGuests; ++g)
+      free_guest_slots_.push_back(requested + kMaxGuests - 1 - g);
     threads_.reserve(requested - 1);
     for (unsigned id = 1; id < requested; ++id) {
       try {
@@ -144,9 +156,47 @@ class scheduler {
   }
 
   // Push a job onto the calling worker's deque. Caller must be enrolled.
-  void push(job* j) {
+  // Returns false — job NOT enqueued — when the deque is full; the caller
+  // must then execute the job inline (fork2join does), so overflow costs
+  // stealable parallelism, never correctness.
+  [[nodiscard]] bool push(job* j) {
     assert(detail::tl_worker_id >= 0);
-    deques_[static_cast<unsigned>(detail::tl_worker_id)].push_bottom(j);
+    return deques_[static_cast<unsigned>(detail::tl_worker_id)].push_bottom(j);
+  }
+
+  // --- guest enrollment -------------------------------------------------------
+  //
+  // Enroll the calling (non-pool) thread as a guest worker: it gets its
+  // own deque slot, its fork2join calls push stealable jobs, and it
+  // steals from (and is stolen from by) the pool like any worker. Returns
+  // the slot id, or -1 when the thread is already enrolled or all
+  // kMaxGuests slots are taken (callers fall back to the sequential fast
+  // path — degraded, not broken). Prefer the guest_worker RAII below.
+  int enroll_guest() {
+    if (detail::tl_worker_id >= 0) return -1;
+    std::lock_guard<std::mutex> lock(guest_mutex_);
+    if (free_guest_slots_.empty()) return -1;
+    unsigned slot = free_guest_slots_.back();
+    free_guest_slots_.pop_back();
+    detail::tl_worker_id = static_cast<int>(slot);
+    // Raise the steal victim bound to cover this slot. Never lowered:
+    // stale guest slots have empty deques and are probed harmlessly.
+    unsigned bound = victim_bound_.load(std::memory_order_relaxed);
+    while (bound < slot + 1 &&
+           !victim_bound_.compare_exchange_weak(bound, slot + 1,
+                                                std::memory_order_relaxed)) {
+    }
+    return static_cast<int>(slot);
+  }
+
+  // Leave a guest slot. The guest's own deque must be empty (every fork
+  // it made has joined) — guaranteed after any balanced fork2join tree.
+  void leave_guest(int slot) {
+    assert(detail::tl_worker_id == slot && "leave_guest from a foreign thread");
+    assert(deques_[static_cast<unsigned>(slot)].looks_empty());
+    std::lock_guard<std::mutex> lock(guest_mutex_);
+    free_guest_slots_.push_back(static_cast<unsigned>(slot));
+    detail::tl_worker_id = -1;
   }
 
   // Pop from the calling worker's own deque (LIFO).
@@ -279,11 +329,13 @@ class scheduler {
     detail::tl_worker_id = -1;
   }
 
-  // Own deque first (LIFO locality), then a round of random steals.
+  // Own deque first (LIFO locality), then a round of random steals. The
+  // victim range covers every slot a job may live in: pool workers plus
+  // the high-water mark of enrolled guest slots.
   job* find_work() {
     unsigned self = static_cast<unsigned>(detail::tl_worker_id);
     if (job* j = deques_[self].pop_bottom()) return j;
-    unsigned n = num_workers_.load(std::memory_order_relaxed);
+    unsigned n = victim_bound_.load(std::memory_order_relaxed);
     if (n == 1) return nullptr;
     stats_[self].steal_attempts.fetch_add(1, std::memory_order_relaxed);
     for (unsigned attempt = 0; attempt < 2 * n; ++attempt) {
@@ -308,11 +360,37 @@ class scheduler {
   // Shrinks (once, in the constructor) if thread spawn fails; concurrent
   // readers take relaxed loads, so it must be atomic.
   std::atomic<unsigned> num_workers_;
+  unsigned requested_;  // worker count before any spawn-failure shrink
+  // One past the highest slot that may hold work: requested_ workers plus
+  // the high-water mark of guest slots ever enrolled.
+  std::atomic<unsigned> victim_bound_;
   std::vector<chase_lev_deque> deques_;
   std::vector<worker_stat> stats_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> subtree_failures_{0};
+  std::mutex guest_mutex_;
+  std::vector<unsigned> free_guest_slots_;
+};
+
+// RAII guest enrollment on the process-wide pool (see enroll_guest). Safe
+// to construct on a thread that is already a worker or when guest slots
+// are exhausted — `enrolled()` reports which, and fork2join from an
+// unenrolled thread still works via its sequential fast path.
+class guest_worker {
+ public:
+  explicit guest_worker(scheduler& s) : sched_(&s), slot_(s.enroll_guest()) {}
+  ~guest_worker() {
+    if (slot_ >= 0) sched_->leave_guest(slot_);
+  }
+  guest_worker(const guest_worker&) = delete;
+  guest_worker& operator=(const guest_worker&) = delete;
+
+  [[nodiscard]] bool enrolled() const noexcept { return slot_ >= 0; }
+
+ private:
+  scheduler* sched_;
+  int slot_;
 };
 
 namespace detail {
@@ -335,31 +413,17 @@ inline std::unique_ptr<scheduler>& global_slot() {
 // pipeline's range partitioning — match the real pool for a given
 // PBDS_NUM_THREADS.
 //
-// PBDS_NUM_THREADS is parsed strictly (strtol, full-string match, range
-// [1, kMaxWorkers]); a malformed value falls back to the hardware count
-// and warns once on stderr instead of silently misconfiguring the pool.
+// PBDS_NUM_THREADS is parsed strictly (full-string match, range
+// [1, kMaxWorkers] — pbds::detail::env_integer); a malformed value falls
+// back to the hardware count and warns once on stderr instead of silently
+// misconfiguring the pool.
 inline constexpr long kMaxWorkers = 4096;
 
 inline unsigned default_num_workers() {
   unsigned hw = std::thread::hardware_concurrency();
   unsigned fallback = hw == 0 ? 1 : hw;
-  if (const char* env = std::getenv("PBDS_NUM_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && errno != ERANGE && v >= 1 &&
-        v <= kMaxWorkers) {
-      return static_cast<unsigned>(v);
-    }
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true, std::memory_order_relaxed)) {
-      std::fprintf(stderr,
-                   "pbds: ignoring malformed PBDS_NUM_THREADS='%s' "
-                   "(expected an integer in [1, %ld]); using %u workers\n",
-                   env, kMaxWorkers, fallback);
-    }
-  }
-  return fallback;
+  return static_cast<unsigned>(pbds::detail::env_integer(
+      "PBDS_NUM_THREADS", 1, kMaxWorkers, fallback));
 }
 }  // namespace detail
 
@@ -539,9 +603,9 @@ inline void pin_watchdog_dependencies() {
   (void)region_registry();
 }
 
-// PBDS_WATCHDOG_MS: strict parse (full-string integer, [1, 3600000]);
-// malformed values warn once and leave the watchdog off rather than
-// guessing a period.
+// PBDS_WATCHDOG_MS: strict parse (pbds::detail::env_integer, range
+// [1, 3600000]); malformed values warn once and leave the watchdog off
+// rather than guessing a period.
 inline void maybe_start_watchdog_from_env();
 }  // namespace detail
 
@@ -580,23 +644,9 @@ inline void ensure_watchdog_for_deadlines() {
 
 namespace detail {
 inline void maybe_start_watchdog_from_env() {
-  const char* env = std::getenv("PBDS_WATCHDOG_MS");
-  if (env == nullptr) return;
-  char* end = nullptr;
-  errno = 0;
-  long v = std::strtol(env, &end, 10);
-  if (end != env && *end == '\0' && errno != ERANGE && v >= 1 &&
-      v <= 3600000) {
-    start_watchdog(watchdog_config{v, 2, 6});
-    return;
-  }
-  static std::atomic<bool> warned{false};
-  if (!warned.exchange(true, std::memory_order_relaxed)) {
-    std::fprintf(stderr,
-                 "pbds: ignoring malformed PBDS_WATCHDOG_MS='%s' (expected "
-                 "an integer in [1, 3600000]); watchdog stays off\n",
-                 env);
-  }
+  long v = static_cast<long>(
+      pbds::detail::env_integer("PBDS_WATCHDOG_MS", 1, 3600000, 0));
+  if (v >= 1) start_watchdog(watchdog_config{v, 2, 6});
 }
 }  // namespace detail
 

@@ -1,0 +1,74 @@
+// Bounded admission queue + backpressure policy for the pipeline service.
+//
+// The queue itself is a plain bounded FIFO of job records, externally
+// synchronized by pipeline_service's mutex — blocking (the `block`
+// policy's wait) lives in the service, which owns the condition
+// variables; this type only answers "is there room" and "which job gets
+// shed". Keeping it passive is what makes the admission decision sequence
+// replayable: every decision happens under one lock, in submission order.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+
+namespace pbds::service {
+
+// What submit() does when the queue is at capacity:
+//   block       — wait for space (or for drain to start).
+//   reject      — throw pbds::overloaded{queue_full} to the submitter.
+//   shed_oldest — admit the new job, evict the oldest *queued* job, whose
+//                 ticket fails with pbds::overloaded{shed}. Freshness
+//                 policy: under sustained overload the queue holds the
+//                 newest work instead of growing stale head-of-line jobs.
+enum class backpressure : unsigned char { block, reject, shed_oldest };
+
+[[nodiscard]] constexpr const char* to_string(backpressure p) noexcept {
+  switch (p) {
+    case backpressure::block:
+      return "block";
+    case backpressure::reject:
+      return "reject";
+    case backpressure::shed_oldest:
+      return "shed_oldest";
+  }
+  return "unknown";
+}
+
+template <typename Record>
+class admission_queue {
+ public:
+  explicit admission_queue(std::size_t capacity) noexcept
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return q_.size() >= capacity_; }
+
+  void push(std::shared_ptr<Record> r) { q_.push_back(std::move(r)); }
+
+  // Pop the next job to run (FIFO).
+  [[nodiscard]] std::shared_ptr<Record> pop() {
+    if (q_.empty()) return nullptr;
+    auto r = std::move(q_.front());
+    q_.pop_front();
+    return r;
+  }
+
+  // Evict the oldest queued job to make room (shed_oldest policy).
+  [[nodiscard]] std::shared_ptr<Record> evict_oldest() { return pop(); }
+
+  // Drain support: hand every remaining queued job to the caller.
+  [[nodiscard]] std::deque<std::shared_ptr<Record>> take_all() {
+    std::deque<std::shared_ptr<Record>> out;
+    out.swap(q_);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::shared_ptr<Record>> q_;
+};
+
+}  // namespace pbds::service

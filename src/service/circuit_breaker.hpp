@@ -1,0 +1,106 @@
+// Per-job-class circuit breaker for the pipeline service.
+//
+// Classic three-state breaker, specialized for deterministic replay: every
+// transition is driven by *counts* of service decisions (consecutive
+// failures, refused submissions), never by wall-clock time, so a run's
+// breaker behavior is a pure function of the submission/outcome sequence —
+// identical across replays of the same seed (docs/TESTING.md).
+//
+//   closed    — admit everything; K consecutive failures trip it open.
+//   open      — refuse submissions; after `cooldown` refusals, the next
+//               submission is admitted as a half-open probe.
+//   half_open — one probe in flight; further submissions are refused.
+//               Probe success closes the breaker, failure re-opens it.
+//
+// Externally synchronized: pipeline_service calls on_submit / on_result
+// under its own mutex. Not thread-safe on its own.
+#pragma once
+
+#include <cstdint>
+
+namespace pbds::service {
+
+class circuit_breaker {
+ public:
+  enum class decision : unsigned char { admit, probe, refuse };
+  enum class state : unsigned char { closed, open, half_open };
+
+  // `threshold` consecutive failures trip the breaker; while open,
+  // `cooldown` refused submissions earn the next one a probe. Values < 1
+  // are clamped to 1.
+  circuit_breaker(int threshold, int cooldown) noexcept
+      : threshold_(threshold < 1 ? 1 : threshold),
+        cooldown_(cooldown < 1 ? 1 : cooldown) {}
+
+  // Called for every submission of this class. `probe` means: admit, and
+  // report the outcome with was_probe = true.
+  [[nodiscard]] decision on_submit() noexcept {
+    switch (state_) {
+      case state::closed:
+        return decision::admit;
+      case state::open:
+        if (++refusals_while_open_ >= cooldown_) {
+          state_ = state::half_open;
+          return decision::probe;
+        }
+        return decision::refuse;
+      case state::half_open:
+        return decision::refuse;  // a probe is already in flight
+    }
+    return decision::refuse;
+  }
+
+  // Called when an admitted job of this class reaches a terminal outcome
+  // (after its retry ladder is exhausted). Returns true when this result
+  // *tripped* the breaker closed -> open, so the caller can record the
+  // trip event exactly once.
+  bool on_result(bool success, bool was_probe) noexcept {
+    if (was_probe) {
+      // half_open: the probe decides.
+      if (success) {
+        state_ = state::closed;
+        consecutive_failures_ = 0;
+      } else {
+        state_ = state::open;
+      }
+      refusals_while_open_ = 0;
+      return false;
+    }
+    if (success) {
+      consecutive_failures_ = 0;
+      return false;
+    }
+    if (state_ == state::closed && ++consecutive_failures_ >= threshold_) {
+      state_ = state::open;
+      refusals_while_open_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  // The service granted a probe (on_submit returned probe) but could not
+  // actually admit the job (queue full under the reject policy, or drain
+  // began). Re-open, keeping the cooldown credit so the next submission
+  // probes again — otherwise the class would be stuck half_open with no
+  // probe in flight.
+  void abort_probe() noexcept {
+    if (state_ == state::half_open) {
+      state_ = state::open;
+      refusals_while_open_ = cooldown_;
+    }
+  }
+
+  [[nodiscard]] state current_state() const noexcept { return state_; }
+  [[nodiscard]] int consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
+ private:
+  int threshold_;
+  int cooldown_;
+  state state_ = state::closed;
+  int consecutive_failures_ = 0;
+  int refusals_while_open_ = 0;
+};
+
+}  // namespace pbds::service

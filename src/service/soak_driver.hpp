@@ -1,0 +1,191 @@
+// Closed-loop overload driver for the pipeline service.
+//
+// `producers` threads each submit `jobs_per_producer` delayed-pipeline
+// jobs (class chosen per-job from a seeded splitmix64 stream) and wait
+// for each ticket before submitting the next — a classic closed loop, so
+// offered load is controlled by the producer count, not a rate parameter.
+// Run with more producers than dispatchers (the CI soak uses 2× the
+// queue-feeding capacity) and the admission queue saturates, exercising
+// the backpressure policy, the retry ladder (pair with a budget), and —
+// with a poisoned class — the circuit breaker, all under real threads.
+//
+// Results feed bench/service_soak.cpp and `pbdsbench --service`:
+// throughput, shed rate, and latency percentiles for the json_report.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "array/parray.hpp"
+#include "core/delayed.hpp"
+#include "service/pipeline_service.hpp"
+
+namespace pbds::service {
+
+struct soak_config {
+  unsigned producers = 4;
+  std::size_t jobs_per_producer = 64;
+  std::size_t n = std::size_t{1} << 14;  // elements per pipeline
+  std::uint64_t seed = 42;
+  int poison_class = -1;            // jobs of this class throw (trips breaker)
+  std::int64_t job_budget_bytes = 0;  // per-job budget_scope (0 = none)
+  long job_deadline_ms = 0;           // per-attempt deadline (0 = none)
+  long drain_deadline_ms = -1;        // -1 = drain the full backlog
+  service_config service;
+};
+
+struct soak_result {
+  service_stats stats;
+  double seconds = 0;
+  double throughput_jobs_per_s = 0;  // completed jobs per wall second
+  double shed_rate = 0;  // (rejected + shed + cancelled) / submitted
+  double p50_ms = 0;     // completed-job latency percentiles
+  double p99_ms = 0;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t checksum = 0;  // xor of completed pipelines' results
+};
+
+// The four job classes, each a different shape of delayed pipeline (same
+// idioms as the §6 benchmarks): 0 map+reduce, 1 filter+scan+reduce,
+// 2 scan_inclusive, 3 map-to-inners+flatten+to_array (allocation-heavy —
+// the class that feels a budget first).
+inline std::uint64_t soak_pipeline(unsigned job_class, std::size_t n) {
+  auto plus = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  switch (job_class & 3u) {
+    case 0: {
+      auto sq = delayed::map(
+          [](std::size_t i) {
+            return static_cast<std::uint64_t>(i) * (i ^ 0x9e37u);
+          },
+          delayed::iota(n));
+      return delayed::reduce(plus, std::uint64_t{0}, sq);
+    }
+    case 1: {
+      auto input = parray<std::uint64_t>::tabulate(
+          n, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+      auto thirds =
+          delayed::filter([](std::uint64_t v) { return v % 3 == 0; }, input);
+      auto prefix = delayed::scan(plus, std::uint64_t{0}, thirds).first;
+      return delayed::reduce(plus, std::uint64_t{0}, prefix);
+    }
+    case 2: {
+      auto [inc, total] = delayed::scan_inclusive(
+          plus, std::uint64_t{0},
+          delayed::tabulate(n, [](std::size_t i) {
+            return static_cast<std::uint64_t>(i * 2654435761u);
+          }));
+      (void)inc;
+      return total;
+    }
+    default: {
+      std::size_t outers = n / 64 + 1;
+      auto heads = parray<std::uint64_t>::tabulate(
+          outers, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+      auto inners = delayed::map(
+          [](std::uint64_t v) {
+            return parray<std::uint64_t>::tabulate(
+                64, [v](std::size_t j) { return v + j; });
+          },
+          delayed::view(heads));
+      auto flat = delayed::to_array(delayed::flatten(inners));
+      return delayed::reduce(plus, std::uint64_t{0}, delayed::view(flat));
+    }
+  }
+}
+
+inline soak_result run_soak(soak_config cfg) {
+  // A closed loop needs someone to run the jobs the producers wait on;
+  // manual mode would deadlock them.
+  if (cfg.service.dispatchers == 0) cfg.service.dispatchers = 2;
+  pipeline_service svc(cfg.service);
+  std::atomic<std::uint64_t> checksum{0};
+  std::mutex lat_mutex;
+  std::vector<double> latencies_ms;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(cfg.producers);
+  for (unsigned p = 0; p < cfg.producers; ++p) {
+    producers.emplace_back([&, p] {
+      std::uint64_t state =
+          cfg.seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(p) + 1));
+      std::vector<double> local;
+      local.reserve(cfg.jobs_per_producer);
+      for (std::size_t j = 0; j < cfg.jobs_per_producer; ++j) {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        const unsigned cls = static_cast<unsigned>(z & 3);
+        const bool poisoned =
+            cfg.poison_class >= 0 &&
+            cls == static_cast<unsigned>(cfg.poison_class);
+        job_limits lim;
+        lim.budget_bytes = cfg.job_budget_bytes;
+        lim.deadline_ms = cfg.job_deadline_ms;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          const std::size_t n = cfg.n;
+          auto ticket = svc.submit(
+              cls,
+              [cls, n, poisoned, &checksum] {
+                if (poisoned)
+                  throw std::runtime_error("soak: poisoned job class");
+                checksum.fetch_xor(soak_pipeline(cls, n),
+                                   std::memory_order_relaxed);
+              },
+              lim);
+          ticket.wait();
+          if (ticket.status() == job_status::done) {
+            local.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+          }
+        } catch (const overloaded&) {
+          // Refused at admission — expected under overload; keep offering.
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mutex);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : producers) t.join();
+  svc.drain(cfg.drain_deadline_ms);
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  soak_result r;
+  r.stats = svc.stats();
+  r.trace_hash = svc.trace_hash();
+  r.checksum = checksum.load(std::memory_order_relaxed);
+  r.seconds = seconds;
+  r.throughput_jobs_per_s =
+      seconds > 0 ? static_cast<double>(r.stats.completed) / seconds : 0;
+  r.shed_rate =
+      r.stats.submitted == 0
+          ? 0
+          : static_cast<double>(r.stats.rejected + r.stats.shed +
+                                r.stats.cancelled) /
+                static_cast<double>(r.stats.submitted);
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto at = [&](double q) {
+      std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_ms.size() - 1));
+      return latencies_ms[i];
+    };
+    r.p50_ms = at(0.50);
+    r.p99_ms = at(0.99);
+  }
+  return r;
+}
+
+}  // namespace pbds::service

@@ -1,6 +1,8 @@
 // Tests for the benchmark harness (argument parsing and the warmup+repeat
 // measurement protocol of Appendix A.7).
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -215,6 +217,84 @@ TEST(JsonReport, ValidAfterEveryRecord) {
   EXPECT_NE(two.find("\"attempts\": 2"), std::string::npos);
   EXPECT_EQ(two.front(), '[');
   std::remove(path.c_str());
+}
+
+TEST(JsonReport, ExtraNumericFieldsAreEmitted) {
+  std::string path = ::testing::TempDir() + "pbds_report_extra.json";
+  bc::json_report report(path);
+  report.add({"soak",
+              "delay",
+              bc::run_status::ok,
+              1,
+              bc::measurement{},
+              {{"throughput_jobs_per_s", 125.5}, {"shed_rate", 0.25}}});
+  ASSERT_TRUE(report.ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096] = {0};
+  std::size_t got = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::string text(buf, got);
+  EXPECT_NE(text.find("\"throughput_jobs_per_s\": 125.5"), std::string::npos);
+  EXPECT_NE(text.find("\"shed_rate\": 0.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, WriteFailureKeepsPreviousReportAndSetsError) {
+  // Simulate an unwritable tmp file (the same failure mode as ENOSPC at
+  // open) by planting a directory where the tmp file would go. The flush
+  // must report the error and leave the previous complete report alone.
+  std::string path = ::testing::TempDir() + "pbds_report_err.json";
+  std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  bc::json_report report(path);
+  report.add({"first", "delay", bc::run_status::ok, 1, bc::measurement{}});
+  ASSERT_TRUE(report.ok());
+
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0700), 0);
+  report.add({"second", "delay", bc::run_status::ok, 1, bc::measurement{}});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.last_error().empty());
+  // The published report is still the last complete one.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096] = {0};
+  std::size_t got = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::string text(buf, got);
+  EXPECT_NE(text.find("\"first\""), std::string::npos);
+  EXPECT_EQ(text.find("\"second\""), std::string::npos);
+  EXPECT_EQ(text[text.size() - 2], ']');  // complete document, not truncated
+
+  // Once the obstruction clears, the next add recovers and publishes both
+  // records.
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+  report.add({"third", "delay", bc::run_status::ok, 1, bc::measurement{}});
+  EXPECT_TRUE(report.ok());
+  f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::memset(buf, 0, sizeof buf);
+  got = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  text.assign(buf, got);
+  EXPECT_NE(text.find("\"second\""), std::string::npos);
+  EXPECT_NE(text.find("\"third\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, RenameFailureCleansUpTmpFile) {
+  // Final path is a directory: the write succeeds but the atomic rename
+  // cannot, so the tmp file must be removed rather than left behind.
+  std::string path = ::testing::TempDir() + "pbds_report_dir.json";
+  ASSERT_EQ(::mkdir(path.c_str(), 0700), 0);
+  bc::json_report report(path);
+  report.add({"only", "delay", bc::run_status::ok, 1, bc::measurement{}});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.last_error().empty());
+  std::FILE* f = std::fopen((path + ".tmp").c_str(), "r");
+  EXPECT_EQ(f, nullptr);  // no stale tmp litter
+  if (f != nullptr) std::fclose(f);
+  ASSERT_EQ(::rmdir(path.c_str()), 0);
 }
 
 }  // namespace

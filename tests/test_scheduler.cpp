@@ -4,11 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sched/chase_lev_deque.hpp"
+#include "sched/job.hpp"
 #include "sched/parallel.hpp"
 #include "sched/scheduler.hpp"
 
@@ -194,6 +198,42 @@ TEST(Scheduler, DefaultNumWorkersParsesStrictly) {
   unsetenv("PBDS_NUM_THREADS");
   EXPECT_EQ(pbds::sched::detail::default_num_workers(), fallback);
   if (had) setenv("PBDS_NUM_THREADS", saved.c_str(), 1);
+}
+
+TEST(Deque, PushBottomRefusesWhenFullInsteadOfAborting) {
+  // Regression: overflow used to std::abort() the process. Now push_bottom
+  // reports failure and the caller runs the job inline.
+  auto deque = std::make_unique<pbds::sched::chase_lev_deque>();
+  auto noop = [] {};
+  std::vector<std::unique_ptr<pbds::sched::callable_job<decltype(noop)>>> jobs;
+  jobs.reserve(pbds::sched::chase_lev_deque::kCapacity + 1);
+  for (std::size_t i = 0; i < pbds::sched::chase_lev_deque::kCapacity; ++i) {
+    jobs.push_back(
+        std::make_unique<pbds::sched::callable_job<decltype(noop)>>(noop));
+    EXPECT_TRUE(deque->push_bottom(jobs.back().get())) << i;
+  }
+  jobs.push_back(
+      std::make_unique<pbds::sched::callable_job<decltype(noop)>>(noop));
+  EXPECT_FALSE(deque->push_bottom(jobs.back().get()));  // full: refused
+  // Popping one makes room again.
+  EXPECT_NE(deque->pop_bottom(), nullptr);
+  EXPECT_TRUE(deque->push_bottom(jobs.back().get()));
+}
+
+TEST(Scheduler, ForkDepthPastDequeCapacityRunsInline) {
+  // Left-spine recursion deeper than kCapacity: every fork2join frame on
+  // this stack holds one unjoined job, so the owner's deque must overflow.
+  // The old code aborted the process here; now the overflowing forks
+  // execute their right branch inline and every leaf still runs.
+  constexpr int kDepth =
+      static_cast<int>(pbds::sched::chase_lev_deque::kCapacity) + 64;
+  std::atomic<int> rights{0};
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == 0) return;
+    fork2join([&] { rec(depth - 1); }, [&] { rights++; });
+  };
+  rec(kDepth);
+  EXPECT_EQ(rights.load(), kDepth);
 }
 
 TEST(Scheduler, WorkActuallyDistributesAcrossWorkers) {
