@@ -222,7 +222,13 @@ class budget_scope {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   z ^= z >> 31;
-  std::int64_t nominal = base_us << (attempt < 20 ? attempt : 20);
+  // base_us is caller-supplied; saturate the doubled nominal at a sane
+  // ceiling instead of shifting a huge base into signed overflow.
+  constexpr std::int64_t kMaxBackoffUs = 600'000'000;  // 10 min per retry
+  const int shift = attempt < 20 ? attempt : 20;
+  std::int64_t nominal = base_us >= (kMaxBackoffUs >> shift)
+                             ? kMaxBackoffUs
+                             : base_us << shift;
   // jitter in [-nominal/2, +nominal/2)
   std::int64_t jitter =
       static_cast<std::int64_t>(z % static_cast<std::uint64_t>(nominal)) -

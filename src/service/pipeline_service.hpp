@@ -86,6 +86,10 @@ struct service_config {
   int default_retries = 2;
   std::int64_t default_backoff_us = 100;
   std::uint64_t seed = 0x5eedull; // salts the per-job retry jitter
+  // Newest trace entries retained for trace(); older ones are dropped
+  // (counted in trace_dropped()). trace_hash() stays incremental over the
+  // *full* event sequence, so replay fingerprints survive the bound.
+  std::size_t trace_capacity = 1 << 16;
 
   // PBDS_SERVICE_* knobs, parsed strictly (core/env.hpp): malformed
   // values warn once and keep the default. POLICY is numeric:
@@ -108,6 +112,9 @@ struct service_config {
         de::env_integer("PBDS_SERVICE_RETRIES", 0, 100, c.default_retries));
     c.default_backoff_us = de::env_integer("PBDS_SERVICE_BACKOFF_US", 0,
                                            10000000, c.default_backoff_us);
+    c.trace_capacity = static_cast<std::size_t>(de::env_integer(
+        "PBDS_SERVICE_TRACE_CAP", 0, 1 << 24,
+        static_cast<long long>(c.trace_capacity)));
     return c;
   }
 };
@@ -316,6 +323,13 @@ class pipeline_service {
           break;
       }
     }
+    // A blocked submitter can wake to a queue that drain just emptied
+    // (take_all frees space and sets draining_ in one step); admitting
+    // here would enqueue a job nothing will ever run. Drain wins.
+    if (draining_) {
+      if (rec->probe) brk.abort_probe();
+      return refuse(rec, event::reject_draining, overload_reason::draining);
+    }
     queue_.push(rec);
     record(event::admit, job_class);
     ++stats_.admitted;
@@ -384,6 +398,9 @@ class pipeline_service {
       for (auto& rec : queue_.take_all()) {
         record(event::cancel, rec->job_class);
         ++stats_.cancelled;
+        // A cancelled probe never reports on_result; re-open the breaker
+        // (with cooldown credit) so the class isn't stranded half_open.
+        if (rec->probe) breaker_for(rec->job_class).abort_probe();
         finish(std::move(rec), job_status::cancelled,
                std::make_exception_ptr(
                    overloaded(overload_reason::drain_cancelled)));
@@ -425,26 +442,25 @@ class pipeline_service {
     return stats_;
   }
 
+  // The retained tail of the event trace — at most cfg.trace_capacity
+  // entries; trace_dropped() counts what aged out of the window.
   [[nodiscard]] std::vector<trace_entry> trace() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return trace_;
+    return std::vector<trace_entry>(trace_.begin(), trace_.end());
   }
 
-  // FNV-1a over the (event, job_class) sequence — the replay fingerprint:
-  // two runs that made identical decisions in identical order hash equal.
+  [[nodiscard]] std::uint64_t trace_dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trace_dropped_;
+  }
+
+  // FNV-1a over the full (event, job_class) sequence — the replay
+  // fingerprint: two runs that made identical decisions in identical
+  // order hash equal. Folded incrementally in record(), so it covers
+  // every event ever taken even after old entries age out of trace().
   [[nodiscard]] std::uint64_t trace_hash() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](std::uint8_t b) {
-      h ^= b;
-      h *= 1099511628211ull;
-    };
-    for (const auto& e : trace_) {
-      mix(static_cast<std::uint8_t>(e.ev));
-      mix(static_cast<std::uint8_t>(e.job_class));
-      mix(static_cast<std::uint8_t>(e.job_class >> 8));
-    }
-    return h;
+    return trace_hash_;
   }
 
   [[nodiscard]] circuit_breaker::state breaker_state(unsigned job_class) const {
@@ -461,15 +477,16 @@ class pipeline_service {
     return l;
   }
 
-  // Record + throw for every submission-time refusal. Called with the
-  // service mutex held; the record was never queued, so finishing it here
-  // is only for tickets the caller may have stashed before the throw
-  // (there are none today — submit throws before returning one — but a
-  // terminal status keeps the record's lifecycle uniform).
+  // Record + finish + throw for every submission-time refusal. Called
+  // with the service mutex held. The record was never queued and submit
+  // throws before returning a ticket, but it still gets a terminal status
+  // so any future caller that stashed the record can't wait forever.
   job_ticket refuse(std::shared_ptr<detail::job_record> rec, event ev,
                     overload_reason reason) {
     record(ev, rec->job_class);
     ++stats_.rejected;
+    finish(std::move(rec), job_status::failed,
+           std::make_exception_ptr(overloaded(reason)));
     throw overloaded(reason);
   }
 
@@ -485,7 +502,18 @@ class pipeline_service {
   }
 
   void record(event ev, unsigned job_class) {
+    auto mix = [this](std::uint8_t b) {
+      trace_hash_ ^= b;
+      trace_hash_ *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint8_t>(ev));
+    mix(static_cast<std::uint8_t>(job_class));
+    mix(static_cast<std::uint8_t>(job_class >> 8));
     trace_.push_back({ev, job_class});
+    while (trace_.size() > cfg_.trace_capacity) {
+      trace_.pop_front();
+      ++trace_dropped_;
+    }
   }
 
   // Terminal transition on a record. Service mutex may be held; takes the
@@ -651,6 +679,11 @@ class pipeline_service {
         } else if (rec->probe && success) {
           record(event::close, rec->job_class);
         }
+      } else if (rec->probe) {
+        // The cancelled probe will never report on_result; re-open the
+        // breaker (with cooldown credit) instead of stranding the class
+        // half_open with no probe in flight.
+        breaker_for(rec->job_class).abort_probe();
       }
       --running_;
     }
@@ -666,7 +699,9 @@ class pipeline_service {
   admission_queue<detail::job_record> queue_;
   std::unordered_map<unsigned, circuit_breaker> breakers_;
   std::vector<sched::cancel_state*> inflight_;
-  std::vector<trace_entry> trace_;
+  std::deque<trace_entry> trace_;
+  std::uint64_t trace_hash_ = 1469598103934665603ull;  // FNV-1a offset basis
+  std::uint64_t trace_dropped_ = 0;
   service_stats stats_;
   std::vector<std::thread> dispatchers_;
   std::uint64_t next_job_id_ = 0;

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <new>
 #include <string>
 #include <thread>
@@ -332,6 +333,23 @@ TEST(DeterministicStall, ArmStallAfterReplaysFromSeed) {
   }
   // Same seed + same injection point => identical interleaving trace.
   EXPECT_EQ(hash1, hash2);
+}
+
+TEST(Backoff, HugeBaseSaturatesInsteadOfOverflowing) {
+  // Caller-supplied bases are not env-clamped; a base near INT64_MAX must
+  // saturate at the backoff ceiling, not shift into signed overflow.
+  constexpr std::int64_t kCeiling = 600'000'000;  // 10 min, from budget.hpp
+  for (int attempt = 0; attempt < 25; ++attempt) {
+    const std::int64_t d = memory::jittered_backoff_us(
+        attempt, std::numeric_limits<std::int64_t>::max(), /*salt=*/42);
+    EXPECT_GT(d, 0) << "attempt=" << attempt;
+    EXPECT_LE(d, kCeiling + kCeiling / 2) << "attempt=" << attempt;
+  }
+  // A sane base still doubles per attempt until it hits the ceiling.
+  EXPECT_EQ(memory::jittered_backoff_us(0, 0, 42), 0);
+  const std::int64_t small = memory::jittered_backoff_us(3, 100, 42);
+  EXPECT_GT(small, 0);
+  EXPECT_LE(small, 100 * 8 * 3 / 2);
 }
 
 TEST(DeterministicStall, DisarmedRunsToCompletion) {

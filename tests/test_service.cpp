@@ -12,8 +12,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "memory/budget.hpp"
@@ -309,6 +311,82 @@ TEST(Service, DrainCancelsStragglersAndPoolStaysReusable) {
   pbds::parallel_for(
       0, 4096, [&](std::size_t i) { sum += i; }, 64);
   EXPECT_EQ(sum.load(), 4096u * 4095u / 2);
+}
+
+TEST(Service, BlockedSubmitterRefusedWhenDrainEmptiesTheQueue) {
+  // Regression: a block-policy submitter parked on cv_space_ must not be
+  // admitted when drain's take_all both frees queue space and stops
+  // admissions in one step — the job would be queued with nothing left to
+  // run it and its ticket would hang forever.
+  pipeline_service svc(manual_config(1, backpressure::block));
+  auto queued = svc.submit(0, [] {});  // queue is now full
+  std::exception_ptr blocked_err;
+  std::thread submitter([&] {
+    try {
+      svc.submit(0, [] {});
+    } catch (...) {
+      blocked_err = std::current_exception();
+    }
+  });
+  // submitted is bumped under the mutex before the thread parks, so this
+  // poll means the submitter has entered submit (and with a full queue,
+  // block policy, and no runners, can only be blocking or refused).
+  while (svc.stats().submitted < 2) std::this_thread::yield();
+  svc.drain(0);  // zero deadline: cancel the queued job, empty the queue
+  submitter.join();
+  ASSERT_TRUE(blocked_err) << "blocked submitter was admitted after drain";
+  try {
+    std::rethrow_exception(blocked_err);
+  } catch (const overloaded& o) {
+    EXPECT_EQ(o.reason(), overload_reason::draining);
+  }
+  EXPECT_EQ(queued.status(), job_status::cancelled);
+  EXPECT_EQ(svc.queue_depth(), 0u);
+  // Exactly the first submission was admitted; the blocked one never was.
+  EXPECT_EQ(svc.stats().admitted, 1u);
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(Service, TraceIsBoundedButHashCoversEverything) {
+  auto run = [](std::size_t trace_cap) {
+    auto cfg = manual_config(8, backpressure::reject);
+    cfg.trace_capacity = trace_cap;
+    pipeline_service svc(cfg);
+    for (int i = 0; i < 32; ++i) {
+      svc.submit(static_cast<unsigned>(i % 3), [] {});
+      svc.run_one();
+    }
+    svc.drain();
+    return std::tuple(svc.trace().size(), svc.trace_dropped(),
+                      svc.trace_hash());
+  };
+  const auto [full_size, full_dropped, full_hash] = run(1 << 16);
+  const auto [cap_size, cap_dropped, cap_hash] = run(4);
+  EXPECT_EQ(full_dropped, 0u);
+  EXPECT_LE(cap_size, 4u);
+  EXPECT_EQ(cap_dropped, full_size - cap_size);
+  // The replay fingerprint is independent of the retention window.
+  EXPECT_EQ(cap_hash, full_hash);
+}
+
+TEST(Service, DrainCancelledProbeDoesNotStrandBreakerHalfOpen) {
+  auto cfg = manual_config(8, backpressure::reject);
+  cfg.breaker_threshold = 1;
+  cfg.breaker_cooldown = 2;
+  cfg.default_retries = 0;
+  pipeline_service svc(cfg);
+  constexpr unsigned kCls = 6;
+  svc.submit(kCls, [] { throw std::runtime_error("poisoned"); });
+  EXPECT_TRUE(svc.run_one());
+  EXPECT_EQ(svc.breaker_state(kCls), circuit_breaker::state::open);
+  EXPECT_THROW(svc.submit(kCls, [] {}), overloaded);  // burns cooldown
+  auto probe = svc.submit(kCls, [] {});               // half-open probe
+  EXPECT_EQ(svc.breaker_state(kCls), circuit_breaker::state::half_open);
+  svc.drain(0);  // cancels the still-queued probe before it ever runs
+  EXPECT_EQ(probe.status(), job_status::cancelled);
+  // The probe will never report a result; the breaker must re-open (with
+  // cooldown credit) rather than stay half_open with no probe in flight.
+  EXPECT_EQ(svc.breaker_state(kCls), circuit_breaker::state::open);
 }
 
 // Scripted overload scenario: a seeded splitmix64 stream decides each
