@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common/baseline.hpp"
 #include "bench_common/harness.hpp"
 #include "benchmarks/bestcut.hpp"
 #include "benchmarks/bfs.hpp"
@@ -53,6 +54,16 @@ struct cli {
   bool isolate = false;     // fork one subprocess per configuration
   double timeout_sec = 60;  // per-configuration wall clock (isolated mode)
   int retries = 1;          // max retries after timeout/crash (isolated mode)
+
+  // Perf-regression mode: replay the configurations recorded in a
+  // committed `--json` report and fail (exit 1) when the fresh medians
+  // regress past the thresholds. --inject-slowdown multiplies the fresh
+  // medians before comparison — the self-test hook proving the comparator
+  // actually fails when things get slower.
+  std::string baseline_path;     // empty = normal measurement mode
+  double threshold = 0.10;       // relative median-seconds threshold
+  double bytes_threshold = 0.02; // relative allocated-bytes threshold (<0 off)
+  double inject_slowdown = 1.0;
 };
 
 // One benchmark = a factory that captures the generated input and returns
@@ -261,6 +272,32 @@ cli parse_cli(int argc, char** argv) {
       c.retries = static_cast<int>(bd::parse_long_arg(
           "--retries", bd::require_value("--retries", i, argc, argv), 0,
           100));
+    } else if (is("--baseline")) {
+      c.baseline_path = bd::require_value("--baseline", i, argc, argv);
+    } else if (is("--threshold")) {
+      c.threshold = bd::parse_double_arg(
+          "--threshold", bd::require_value("--threshold", i, argc, argv),
+          0.0, /*inclusive=*/true);
+    } else if (is("--bytes-threshold")) {
+      // Any negative value disables the bytes rail; parse by hand since
+      // parse_double_arg only does lower bounds.
+      const char* text =
+          bd::require_value("--bytes-threshold", i, argc, argv);
+      char* end = nullptr;
+      errno = 0;
+      c.bytes_threshold = std::strtod(text, &end);
+      if (end == text || *end != '\0' || errno == ERANGE ||
+          c.bytes_threshold != c.bytes_threshold) {
+        std::fprintf(stderr,
+                     "error: invalid value '%s' for --bytes-threshold\n",
+                     text);
+        std::exit(2);
+      }
+    } else if (is("--inject-slowdown")) {
+      c.inject_slowdown = bd::parse_double_arg(
+          "--inject-slowdown",
+          bd::require_value("--inject-slowdown", i, argc, argv), 0.0,
+          /*inclusive=*/false);
     } else if (is("--list")) {
       for (const auto& [name, e] : registry()) {
         std::printf("%-12s (default n = %zu)\n", name.c_str(), e.default_n);
@@ -272,9 +309,17 @@ cli parse_cli(int argc, char** argv) {
           "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n"
           "          [--json PATH] [--isolate] [--timeout SECONDS]\n"
           "          [--retries N] [--service]\n"
+          "          [--baseline REPORT.json] [--threshold X]\n"
+          "          [--bytes-threshold X] [--inject-slowdown F]\n"
           "--service runs the pipeline-service overload soak (configured\n"
           "via PBDS_SERVICE_*; see bench/service_soak.cpp for the\n"
-          "standalone driver with per-knob flags)\n",
+          "standalone driver with per-knob flags)\n"
+          "--baseline replays every ok row of a committed --json report at\n"
+          "its recorded n and exits 1 if any fresh median exceeds\n"
+          "baseline*(1+--threshold) or allocated bytes exceed\n"
+          "baseline*(1+--bytes-threshold); negative --bytes-threshold\n"
+          "disables the bytes check. --inject-slowdown F multiplies the\n"
+          "fresh medians first (comparator self-test: 2 must fail).\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -289,10 +334,95 @@ cli parse_cli(int argc, char** argv) {
   return c;
 }
 
+// --- perf-regression mode (--baseline) ----------------------------------------
+
+// Replay every ok configuration recorded in the baseline report (at its
+// recorded n, honoring --bench/--impl filters), always in forked children
+// (the parent never starts the pool), and compare the fresh medians and
+// allocated bytes under the thresholds. Exit codes: 0 no regression, 1
+// regression, 3 baseline unreadable or a replay failed to produce a
+// measurement.
+int run_baseline_mode(const cli& c) {
+  std::vector<baseline_entry> base;
+  std::string err;
+  if (!load_report(c.baseline_path, base, err)) {
+    std::fprintf(stderr, "pbdsbench: %s\n", err.c_str());
+    return 3;
+  }
+  auto reg = registry();
+  std::vector<regression> regs;
+  int replayed = 0;
+  int skipped = 0;
+  int failed = 0;
+  std::printf("comparing against %s (threshold %.0f%%, bytes %s)\n",
+              c.baseline_path.c_str(), c.threshold * 100,
+              c.bytes_threshold < 0
+                  ? "off"
+                  : (std::to_string(c.bytes_threshold * 100) + "%").c_str());
+  if (c.inject_slowdown != 1.0)
+    std::printf("inject-slowdown: fresh medians multiplied by %.3g\n",
+                c.inject_slowdown);
+  std::printf("%-12s %-6s %12s %12s %12s %7s\n", "benchmark", "impl", "n",
+              "base med(s)", "fresh med(s)", "ratio");
+  for (const auto& b : base) {
+    bool known_impl =
+        b.config == "array" || b.config == "rad" || b.config == "delay";
+    if (b.status != "ok" || !reg.count(b.name) || !known_impl ||
+        (c.bench != "all" && b.name != c.bench) ||
+        (c.impl != "all" && b.config != c.impl)) {
+      ++skipped;
+      continue;
+    }
+    std::size_t n = b.has("n") ? static_cast<std::size_t>(b.num("n"))
+                               : reg.at(b.name).default_n;
+    auto r = run_isolated([&] { return reg.at(b.name).run(b.config, n,
+                                                          c.opt); },
+                          c.timeout_sec, c.retries);
+    if (r.status != run_status::ok) {
+      std::printf("%-12s %-6s %12zu %12s (%s after %d attempt%s)\n",
+                  b.name.c_str(), b.config.c_str(), n, "-",
+                  to_string(r.status), r.attempts,
+                  r.attempts == 1 ? "" : "s");
+      ++failed;
+      continue;
+    }
+    double fresh = r.m.median_seconds * c.inject_slowdown;
+    std::size_t before = regs.size();
+    compare_against_baseline(b, fresh,
+                             static_cast<double>(r.m.allocated_bytes),
+                             c.threshold, c.bytes_threshold, regs);
+    double base_med = b.median_seconds();
+    std::printf("%-12s %-6s %12zu %12.4f %12.4f %7.2f%s\n", b.name.c_str(),
+                b.config.c_str(), n, base_med, fresh,
+                base_med == 0 ? 0 : fresh / base_med,
+                regs.size() > before ? "  REGRESSION" : "");
+    std::fflush(stdout);
+    ++replayed;
+  }
+  for (const auto& g : regs) {
+    std::fprintf(stderr,
+                 "REGRESSION %s/%s %s: %.6g vs baseline %.6g "
+                 "(%.2fx, threshold +%.0f%%)\n",
+                 g.name.c_str(), g.config.c_str(), g.metric.c_str(),
+                 g.current, g.baseline, g.ratio(), g.threshold * 100);
+  }
+  std::printf("replayed %d, skipped %d, failed %d, regressions %zu\n",
+              replayed, skipped, failed, regs.size());
+  if (failed > 0) return 3;
+  if (replayed == 0) {
+    std::fprintf(stderr,
+                 "pbdsbench: baseline contained no replayable rows\n");
+    return 3;
+  }
+  return regs.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli c = parse_cli(argc, argv);
+
+  if (!c.baseline_path.empty()) return run_baseline_mode(c);
 
   if (c.service) {
     // Pipeline-service overload soak: closed loop at whatever pressure
@@ -369,13 +499,19 @@ int main(int argc, char** argv) {
                       to_string(r.status), r.attempts,
                       r.attempts == 1 ? "" : "s");
         }
-        if (report) report->add({name, impl, r.status, r.attempts, r.m});
+        // Record n so a later --baseline run replays this exact
+        // configuration regardless of its own --scale/-n flags.
+        if (report)
+          report->add({name, impl, r.status, r.attempts, r.m,
+                       {{"n", static_cast<double>(n)}}});
       } else {
         auto m = e.run(impl, n, c.opt);
         std::printf("%-12s %-6s %12zu %10.4f %12.1f %12.1f\n", name.c_str(),
                     impl.c_str(), n, m.seconds, mb(m.peak_bytes),
                     mb(m.allocated_bytes));
-        if (report) report->add({name, impl, run_status::ok, 1, m});
+        if (report)
+          report->add({name, impl, run_status::ok, 1, m,
+                       {{"n", static_cast<double>(n)}}});
       }
       std::fflush(stdout);
     }

@@ -23,6 +23,7 @@
 #include "core/region.hpp"
 #include "memory/counting_allocator.hpp"
 #include "sched/parallel.hpp"
+#include "stream/streams.hpp"
 
 namespace pbds::array_ops {
 
@@ -199,7 +200,8 @@ template <typename Pieces>
     std::size_t k = static_cast<std::size_t>(
         std::upper_bound(base, base + offsets.size(), start) - base - 1);
     region_stream<Pieces> s{&pieces, k, start - base[k]};
-    for (std::size_t i = 0; i < len; ++i) ::new (q + start + i) T(s.next());
+    // Gated bulk copy: contiguous pieces become one memcpy per run.
+    stream::next_n(s, q + start, len);
   });
   return out;
 }

@@ -1,0 +1,250 @@
+// Perf-regression baselines: parse a committed `pbdsbench --json` report
+// and compare a fresh run against it, so "no slower than the baseline" is
+// a property CI can enforce instead of a hope.
+//
+// The on-disk format is exactly what json_report (harness.hpp) emits: a
+// top-level array of flat objects whose values are strings or numbers.
+// The parser below reads only that shape — it is not a general JSON
+// parser, but it is strict about the subset it accepts (a malformed file
+// yields an error, never a silently-empty baseline).
+//
+// Comparison policy (docs in EXPERIMENTS.md):
+//  * time: median seconds per configuration, compared under a relative
+//    threshold (default 10%). Wall-clock is noisy across machines, so CI
+//    runs with a looser threshold than local checks; the committed
+//    baseline records the machine it came from.
+//  * allocated bytes: deterministic for a fixed (benchmark, impl, n,
+//    block size), so compared under a tight threshold (default 2% to
+//    absorb container-growth jitter across allocator versions). A fusion
+//    regression that materializes one extra O(n) intermediate overshoots
+//    this by orders of magnitude.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pbds::bench_common {
+
+struct baseline_entry {
+  std::string name;    // benchmark name
+  std::string config;  // library / policy variant
+  std::string status;  // run_status string ("ok", "timeout", ...)
+  std::map<std::string, double> nums;  // every numeric field by key
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return nums.count(key) != 0;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback = 0) const {
+    auto it = nums.find(key);
+    return it == nums.end() ? fallback : it->second;
+  }
+  // Median if the report carries one (post-PR-6 reports always do), else
+  // the mean — keeps old baseline files comparable.
+  [[nodiscard]] double median_seconds() const {
+    return has("median_seconds") ? num("median_seconds") : num("seconds");
+  }
+};
+
+namespace detail {
+
+struct json_cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error{};
+
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+
+  void fail(const std::string& what) {
+    if (error.empty())
+      error = what + " at byte " + std::to_string(pos);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  // JSON string with the escapes json_report emits (\" \\ \uXXXX).
+  std::string parse_string() {
+    std::string out;
+    if (!eat('"')) {
+      fail("expected string");
+      return out;
+    }
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) break;
+      char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            fail("truncated \\u escape");
+            return out;
+          }
+          unsigned v = static_cast<unsigned>(
+              std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16));
+          pos += 4;
+          // json_report only emits \u00XX control bytes.
+          out.push_back(static_cast<char>(v & 0xff));
+          break;
+        }
+        default: fail("unknown escape"); return out;
+      }
+    }
+    if (!eat('"')) fail("unterminated string");
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) {
+      fail("expected number");
+      return 0;
+    }
+    pos += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  baseline_entry parse_object() {
+    baseline_entry e;
+    if (!eat('{')) {
+      fail("expected '{'");
+      return e;
+    }
+    if (eat('}')) return e;
+    do {
+      std::string key = parse_string();
+      if (failed()) return e;
+      if (!eat(':')) {
+        fail("expected ':'");
+        return e;
+      }
+      if (peek() == '"') {
+        std::string v = parse_string();
+        if (key == "name") e.name = std::move(v);
+        else if (key == "config") e.config = std::move(v);
+        else if (key == "status") e.status = std::move(v);
+      } else {
+        e.nums[key] = parse_number();
+      }
+      if (failed()) return e;
+    } while (eat(','));
+    if (!eat('}')) fail("expected '}' or ','");
+    return e;
+  }
+};
+
+}  // namespace detail
+
+// Parse a json_report file. On success returns true and fills `out`; on
+// failure returns false with a diagnostic in `error`.
+inline bool load_report(const std::string& path,
+                        std::vector<baseline_entry>& out,
+                        std::string& error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    text.append(buf, got);
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    error = "read error on " + path;
+    return false;
+  }
+  detail::json_cursor cur{text};
+  if (!cur.eat('[')) {
+    error = path + ": expected top-level array";
+    return false;
+  }
+  out.clear();
+  if (cur.eat(']')) return true;  // empty report
+  do {
+    out.push_back(cur.parse_object());
+    if (cur.failed()) {
+      error = path + ": " + cur.error;
+      return false;
+    }
+  } while (cur.eat(','));
+  if (!cur.eat(']')) {
+    error = path + ": expected ']' or ','";
+    return false;
+  }
+  return true;
+}
+
+// One regression finding: `metric` exceeded baseline * (1 + threshold).
+struct regression {
+  std::string name;
+  std::string config;
+  std::string metric;   // "median_seconds" | "allocated_bytes"
+  double current = 0;
+  double baseline = 0;
+  double threshold = 0;  // the relative threshold that was applied
+
+  [[nodiscard]] double ratio() const {
+    return baseline == 0 ? 0 : current / baseline;
+  }
+};
+
+// Compare one fresh measurement against its baseline entry, appending any
+// regressions found. A metric regresses when current > baseline * (1 +
+// threshold); a negative bytes threshold disables the bytes check.
+inline void compare_against_baseline(const baseline_entry& base,
+                                     double current_median_seconds,
+                                     double current_allocated_bytes,
+                                     double time_threshold,
+                                     double bytes_threshold,
+                                     std::vector<regression>& out) {
+  double base_time = base.median_seconds();
+  if (base_time > 0 &&
+      current_median_seconds > base_time * (1.0 + time_threshold)) {
+    out.push_back({base.name, base.config, "median_seconds",
+                   current_median_seconds, base_time, time_threshold});
+  }
+  double base_bytes = base.num("allocated_bytes", -1);
+  if (bytes_threshold >= 0 && base_bytes > 0 &&
+      current_allocated_bytes > base_bytes * (1.0 + bytes_threshold)) {
+    out.push_back({base.name, base.config, "allocated_bytes",
+                   current_allocated_bytes, base_bytes, bytes_threshold});
+  }
+}
+
+}  // namespace pbds::bench_common

@@ -15,6 +15,7 @@
 // configuration so a later death loses nothing.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -161,6 +162,11 @@ struct measurement {
   double seconds = 0;          // mean over timed runs
   std::int64_t peak_bytes = 0; // max residency during timed runs
   std::int64_t allocated_bytes = 0;  // per run
+  // Median over the timed runs — the statistic the perf-regression
+  // baseline compares (robust to a one-off scheduler hiccup inflating the
+  // mean). Declared after allocated_bytes so three-field aggregate
+  // initializers keep compiling.
+  double median_seconds = 0;
 };
 
 // Run `f` under the warmup+repeat protocol.
@@ -179,13 +185,29 @@ measurement measure(const F& f, const options& opt) {
   // accounting baseline.
   sched::quiesce();
   memory::space_meter meter;
+  // Time each repetition individually: the per-rep samples give a median
+  // (for baseline comparison) on top of the mean, at the cost of one extra
+  // clock read per rep.
+  std::vector<double> reps(static_cast<std::size_t>(opt.repeat));
   auto t0 = clock::now();
-  for (int r = 0; r < opt.repeat; ++r) f();
+  auto prev = t0;
+  for (int r = 0; r < opt.repeat; ++r) {
+    f();
+    auto now = clock::now();
+    reps[static_cast<std::size_t>(r)] =
+        std::chrono::duration<double>(now - prev).count();
+    prev = now;
+  }
   auto t1 = clock::now();
   measurement m;
   m.seconds = std::chrono::duration<double>(t1 - t0).count() / opt.repeat;
   m.peak_bytes = meter.peak_bytes();
   m.allocated_bytes = meter.allocated_bytes() / opt.repeat;
+  std::sort(reps.begin(), reps.end());
+  std::size_t mid = reps.size() / 2;
+  m.median_seconds = reps.size() % 2 == 1
+                         ? reps[mid]
+                         : (reps[mid - 1] + reps[mid]) / 2.0;
   return m;
 }
 
@@ -297,9 +319,11 @@ isolated_result run_isolated_once(const F& f, double timeout_sec) {
     int len = 0;
     try {
       measurement m = f();
-      len = std::snprintf(line, sizeof line, "%.9g %lld %lld\n", m.seconds,
+      len = std::snprintf(line, sizeof line, "%.9g %lld %lld %.9g\n",
+                          m.seconds,
                           static_cast<long long>(m.peak_bytes),
-                          static_cast<long long>(m.allocated_bytes));
+                          static_cast<long long>(m.allocated_bytes),
+                          m.median_seconds);
       code = 0;
     } catch (const budget_exceeded&) {
       code = kBudgetExitCode;
@@ -343,10 +367,16 @@ isolated_result run_isolated_once(const F& f, double timeout_sec) {
     ssize_t got = read(fds[0], buf, sizeof buf - 1);
     long long peak = 0;
     long long alloc = 0;
-    if (got > 0 &&
-        std::sscanf(buf, "%lf %lld %lld", &r.m.seconds, &peak, &alloc) == 3) {
+    double median = 0;
+    // The median field is a PR-6 addition; accept three fields too so a
+    // mixed-version parent/child pairing degrades to median == mean.
+    int parsed = got > 0 ? std::sscanf(buf, "%lf %lld %lld %lf",
+                                       &r.m.seconds, &peak, &alloc, &median)
+                         : 0;
+    if (parsed >= 3) {
       r.m.peak_bytes = peak;
       r.m.allocated_bytes = alloc;
+      r.m.median_seconds = parsed == 4 ? median : r.m.seconds;
       r.status = run_status::ok;
     }
   } else if (WIFEXITED(wstatus) &&
@@ -464,9 +494,11 @@ class json_report {
       write_escaped(out, r.config);
       std::fprintf(out,
                    "\", \"status\": \"%s\", \"attempts\": %d, "
-                   "\"seconds\": %.9g, \"peak_bytes\": %lld, "
+                   "\"seconds\": %.9g, \"median_seconds\": %.9g, "
+                   "\"peak_bytes\": %lld, "
                    "\"allocated_bytes\": %lld",
                    to_string(r.status), r.attempts, r.m.seconds,
+                   r.m.median_seconds,
                    static_cast<long long>(r.m.peak_bytes),
                    static_cast<long long>(r.m.allocated_bytes));
       for (const auto& [key, value] : r.extra) {

@@ -24,8 +24,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "array/array_ops.hpp"
@@ -88,10 +91,22 @@ template <typename B>
 template <typename F>
 [[nodiscard]] auto bid_of(const rad_t<F>& s) {
   std::size_t blk = block_size();
-  auto block_fn = [f = s.f, off = s.offset, blk](std::size_t j) {
-    return stream::tabulate_stream<F>{f, off + j * blk};
-  };
-  return make_bid(s.n, blk, std::move(block_fn));
+  if constexpr (contiguous_index_fn<F>) {
+    // Contiguous RAD (rad_view / rad_shared): block j reads straight from
+    // memory, so downstream bulk consumers hit the memcpy fast path. The
+    // functor is captured by value, so a shared-owning view keeps its
+    // array alive for as long as the BID exists.
+    auto block_fn = [f = s.f, off = s.offset, blk](std::size_t j) {
+      return stream::pointer_stream<typename rad_t<F>::value_type>{
+          f.contiguous_data() + off + j * blk};
+    };
+    return make_bid(s.n, blk, std::move(block_fn));
+  } else {
+    auto block_fn = [f = s.f, off = s.offset, blk](std::size_t j) {
+      return stream::tabulate_stream<F>{f, off + j * blk};
+    };
+    return make_bid(s.n, blk, std::move(block_fn));
+  }
 }
 
 template <typename T>
@@ -208,9 +223,9 @@ template <typename Bid>
   }
   apply(bd.num_blocks(), [&, q](std::size_t j) {
     auto st = bd.block(j);
-    std::size_t base = j * bd.block_size;
-    std::size_t len = bd.block_length(j);
-    for (std::size_t k = 0; k < len; ++k) ::new (q + base + k) T(st.next());
+    // Bulk materialization (gated; falls back to per-element next()).
+    // Contiguous sources lower to one memcpy per block here.
+    stream::drain_into(st, q + j * bd.block_size, bd.block_length(j));
   });
   return out;
 }
@@ -404,6 +419,11 @@ struct flatten_stream {
   using inner_type = typename OuterBid::value_type;
   using value_type =
       std::decay_t<decltype(std::declval<const inner_type&>()[0])>;
+  // Materialized-mode next_n copies runs of the inner sequences — data
+  // movement, so consumers may stage it (stream::direct_bulk_v); either
+  // mode beats per-element next(), which re-checks inner bounds per pull.
+  static constexpr bool direct_bulk = true;
+  static constexpr bool staging_profitable = true;
 
   const parray<inner_type>* pieces;  // non-null selects materialized mode
   const OuterBid* outer;             // recompute mode only
@@ -433,6 +453,54 @@ struct flatten_stream {
       i = 0;
     }
     return (*cur)[i++];
+  }
+
+  // Bulk path. Materialized mode: run-copies across the forced inners,
+  // exactly as region_stream. Recompute mode: a linear subscript loop over
+  // each live inner — hoists the live-inner checks out of the per-element
+  // path and vectorizes index-function inners (e.g. a tabulated multiples
+  // sequence becomes one vector multiply per run).
+  void next_n(value_type* dst, std::size_t n) {
+    if (pieces != nullptr) {
+      while (n > 0) {
+        const auto& piece = (*pieces)[k];
+        std::size_t avail = piece.size() - std::min(i, piece.size());
+        if (avail == 0) {
+          ++k;
+          i = 0;
+          continue;
+        }
+        std::size_t c = n < avail ? n : avail;
+        if constexpr (requires(const inner_type& p) { p.data(); } &&
+                      std::is_trivially_copyable_v<value_type>) {
+          std::memcpy(static_cast<void*>(dst), piece.data() + i,
+                      c * sizeof(value_type));
+        } else {
+          for (std::size_t t = 0; t < c; ++t)
+            ::new (static_cast<void*>(dst + t)) value_type(piece[i + t]);
+        }
+        dst += c;
+        i += c;
+        n -= c;
+      }
+      return;
+    }
+    while (n > 0) {
+      if (!cur.has_value() || cur_k != k) materialize(k);
+      std::size_t sz = cur->size();
+      if (i >= sz) {
+        ++k;
+        i = 0;
+        continue;
+      }
+      std::size_t c = n < sz - i ? n : sz - i;
+      const inner_type& in = *cur;
+      for (std::size_t t = 0; t < c; ++t)
+        ::new (static_cast<void*>(dst + t)) value_type(in[i + t]);
+      dst += c;
+      i += c;
+      n -= c;
+    }
   }
 
   void materialize(std::size_t target) {

@@ -48,12 +48,38 @@ template <typename F>
   return rad_tabulate(n, [](std::size_t i) { return i; });
 }
 
+// Index functions of array views. These are named types (not lambdas) so
+// downstream code can *recognize* a contiguous RAD: both expose
+// contiguous_data(), which bid_of (delayed.hpp) uses to hand out
+// pointer_stream blocks that materialize via memcpy instead of per-index
+// calls. Plain f(i) behavior is unchanged.
+template <typename T>
+struct ptr_index_fn {
+  const T* p;
+  T operator()(std::size_t i) const { return p[i]; }
+  [[nodiscard]] const T* contiguous_data() const noexcept { return p; }
+};
+
+template <typename T>
+struct shared_index_fn {
+  std::shared_ptr<parray<T>> a;
+  T operator()(std::size_t i) const { return (*a)[i]; }
+  [[nodiscard]] const T* contiguous_data() const noexcept {
+    return a->data();
+  }
+};
+
+// Recognizes RAD index functions over contiguous storage.
+template <typename F>
+concept contiguous_index_fn = requires(const F& f) {
+  { f.contiguous_data() };
+};
+
 // Non-owning view of an existing array (RADfromArray, Fig. 9 line 15).
 // The array must outlive every use of the view.
 template <typename T>
 [[nodiscard]] auto rad_view(const parray<T>& a) {
-  const T* p = a.data();
-  return rad_tabulate(a.size(), [p](std::size_t i) { return p[i]; });
+  return rad_t<ptr_index_fn<T>>{0, a.size(), ptr_index_fn<T>{a.data()}};
 }
 
 // Owning view: keeps the array alive via shared ownership. Used for forced
@@ -61,8 +87,7 @@ template <typename T>
 template <typename T>
 [[nodiscard]] auto rad_shared(std::shared_ptr<parray<T>> a) {
   std::size_t n = a->size();
-  return rad_tabulate(
-      n, [a = std::move(a)](std::size_t i) -> T { return (*a)[i]; });
+  return rad_t<shared_index_fn<T>>{0, n, shared_index_fn<T>{std::move(a)}};
 }
 
 // --- traits -----------------------------------------------------------------

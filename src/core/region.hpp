@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <type_traits>
 
 #include "array/parray.hpp"
@@ -30,6 +32,11 @@ struct region_stream {
   using piece_type = std::decay_t<decltype(std::declval<const Pieces&>()[0])>;
   using value_type =
       std::decay_t<decltype(std::declval<const piece_type&>()[0])>;
+  // next_n copies materialized runs — data movement, so consumers profit
+  // from staging it (stream::direct_bulk_v). Per-element next() pays a
+  // piece-bound check per pull, so staging wins outright.
+  static constexpr bool direct_bulk = true;
+  static constexpr bool staging_profitable = true;
 
   const Pieces* pieces;
   std::size_t outer;  // current piece
@@ -44,6 +51,34 @@ struct region_stream {
       inner = 0;
     }
     return (*pieces)[outer][inner++];
+  }
+
+  // Bulk path: copy maximal runs out of each piece instead of re-checking
+  // piece bounds per element. Contiguous trivially-copyable pieces (the
+  // common case — packed survivor buffers, parray rows) lower each run to
+  // one memcpy.
+  void next_n(value_type* dst, std::size_t n) {
+    while (n > 0) {
+      const auto& piece = (*pieces)[outer];
+      std::size_t avail = piece.size() - std::min(inner, piece.size());
+      if (avail == 0) {
+        ++outer;
+        inner = 0;
+        continue;
+      }
+      std::size_t c = n < avail ? n : avail;
+      if constexpr (requires(const piece_type& p) { p.data(); } &&
+                    std::is_trivially_copyable_v<value_type>) {
+        std::memcpy(static_cast<void*>(dst), piece.data() + inner,
+                    c * sizeof(value_type));
+      } else {
+        for (std::size_t k = 0; k < c; ++k)
+          ::new (static_cast<void*>(dst + k)) value_type(piece[inner + k]);
+      }
+      dst += c;
+      inner += c;
+      n -= c;
+    }
   }
 };
 

@@ -23,6 +23,7 @@
 #include "core/rad.hpp"
 #include "memory/counting_allocator.hpp"
 #include "sched/parallel.hpp"
+#include "stream/streams.hpp"
 
 namespace pbds::radlib {
 
@@ -95,6 +96,38 @@ template <typename Seq>
 [[nodiscard]] auto to_array(const Seq& s) {
   auto r = as_seq(s);
   using T = typename decltype(r)::value_type;
+  using index_fn = typename decltype(r)::index_fn_type;
+  // Bulk fast path: for trivially-destructible elements with the fault
+  // injector disarmed, parray::tabulate would run its unguarded loop
+  // anyway, so materialize blockwise through the stream bulk protocol
+  // instead — a contiguous RAD (view/force result) lowers to one memcpy
+  // per block, and composed map/zip index functions run a raw-pointer
+  // tabulate loop. Semantics match the unguarded tabulate exactly.
+  if constexpr (std::is_nothrow_default_constructible_v<T> &&
+                std::is_trivially_destructible_v<T>) {
+    // Budget-active runs keep the tabulate route for its retry ladder.
+    if (stream::bulk_enabled() && !memory::budget_active()) {
+      auto out = parray<T>::uninitialized(r.n);
+      T* q = out.data();
+      std::size_t blk = block_size();
+      std::size_t nb = num_blocks_for(r.n, blk);
+      std::size_t n = r.n;
+      apply(nb, [&, q](std::size_t j) {
+        std::size_t lo = j * blk;
+        std::size_t len = (lo + blk < n ? lo + blk : n) - lo;
+        if constexpr (contiguous_index_fn<index_fn>) {
+          stream::pointer_stream<T> st{r.f.contiguous_data() + r.offset +
+                                       lo};
+          st.next_n(q + lo, len);
+        } else {
+          stream::tabulate_stream st{
+              [&r](std::size_t i) -> T { return r[i]; }, lo};
+          st.next_n(q + lo, len);
+        }
+      });
+      return out;
+    }
+  }
   // Route through tabulate so materialization inherits its exception
   // tolerance: an injected or real bad_alloc (or a throwing index
   // function) is captured per slot, never unwinds through a fork, and is

@@ -35,6 +35,7 @@
 #include "sched/deterministic.hpp"
 #include "sched/exec_policy.hpp"
 #include "sched/parallel.hpp"
+#include "stream/streams.hpp"
 
 namespace pbds::testing {
 
@@ -183,6 +184,94 @@ inline void expect_space_invariant(const diff_case& c,
       << " bytes exceeds array peak " << array_peak << " bytes (+ "
       << slack_bytes << " metadata slack)";
   expect_digest_eq(dd, da, c.name + " (space-run digests)");
+}
+
+// Fast-vs-generic oracle for the bulk stream paths (PR 6): every kernel
+// runs both with the specialized bulk loops enabled (the default) and with
+// scoped_bulk_disable forcing the element-at-a-time fallback, and the two
+// executions must be indistinguishable:
+//
+//   * element-exact digests, in all three backends, under sequential,
+//     deterministic (seed sweep), and real-pool execution;
+//   * byte-exact allocation accounting sequentially — the bulk loops may
+//     stage elements on the stack but must trigger the exact same tracked
+//     allocations (e.g. filter's push_back growth sequence);
+//   * arming the allocation fault injector must itself force the fallback
+//     (bulk_enabled() == false), so the exception-tolerance paths only
+//     ever see the per-element evaluation order they were written for.
+inline void expect_bulk_matches_generic(
+    const diff_case& c, const std::vector<std::uint64_t>& seeds,
+    unsigned det_workers = 4) {
+  for (int b = 0; b < 3; ++b) {
+    std::string base =
+        std::string(c.name) + " backend=" + kBackendNames[b] + " ";
+    // Sequential: digests AND bytes-accounting must match exactly.
+    digest fast;
+    std::int64_t fast_alloc, fast_peak;
+    {
+      sched::scoped_sequential g;
+      memory::space_meter m;
+      fast = c.run[b]();
+      fast_alloc = m.allocated_bytes();
+      fast_peak = m.peak_delta_bytes();
+    }
+    digest slow;
+    std::int64_t slow_alloc, slow_peak;
+    {
+      sched::scoped_sequential g;
+      stream::scoped_bulk_disable off;
+      memory::space_meter m;
+      slow = c.run[b]();
+      slow_alloc = m.allocated_bytes();
+      slow_peak = m.peak_delta_bytes();
+    }
+    expect_digest_eq(fast, slow, base + "bulk vs generic (sequential)");
+    EXPECT_EQ(fast_alloc, slow_alloc)
+        << base << "bulk path changed the allocated-bytes accounting";
+    EXPECT_EQ(fast_peak, slow_peak)
+        << base << "bulk path changed the peak-bytes accounting";
+    // Deterministic seed sweep + real pool: digest equality.
+    for (std::uint64_t seed : seeds) {
+      PBDS_SEED_TRACE(seed);
+      digest df, ds;
+      {
+        sched::scoped_deterministic g(seed, det_workers);
+        df = c.run[b]();
+      }
+      {
+        sched::scoped_deterministic g(seed, det_workers);
+        stream::scoped_bulk_disable off;
+        ds = c.run[b]();
+      }
+      expect_digest_eq(df, ds,
+                       base + "bulk vs generic (det seed=" +
+                           std::to_string(seed) + ")");
+    }
+    {
+      digest df = c.run[b]();
+      stream::scoped_bulk_disable off;
+      digest ds = c.run[b]();
+      expect_digest_eq(df, ds, base + "bulk vs generic (real pool)");
+    }
+  }
+  // Armed injector => generic path, even with the bulk flag left on. The
+  // fault never fires (huge countdown), so the run must reproduce the
+  // generic digest bit-for-bit.
+  {
+    sched::scoped_sequential g;
+    auto inj =
+        memory::scoped_alloc_faults::fail_nth(std::int64_t{1} << 40);
+    EXPECT_FALSE(stream::bulk_enabled())
+        << "armed fault injector must disable bulk paths";
+    digest armed = c.run[kDelay]();
+    digest generic;
+    {
+      stream::scoped_bulk_disable off;
+      generic = c.run[kDelay]();
+    }
+    expect_digest_eq(armed, generic,
+                     c.name + " armed-injector vs forced-generic");
+  }
 }
 
 // Replay oracle: the same seed must reproduce the same interleaving trace

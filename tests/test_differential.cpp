@@ -231,6 +231,10 @@ TEST_P(DifferentialTest, SeededReplayIsDeterministic) {
   expect_seed_replay(c(), sweep_seeds(kReplaySeeds));
 }
 
+TEST_P(DifferentialTest, BulkFastPathMatchesGeneric) {
+  expect_bulk_matches_generic(c(), sweep_seeds(kSeedSweep));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllCases, DifferentialTest,
                          ::testing::Range(0, static_cast<int>(cases().size())),
                          [](const auto& info) {

@@ -12,8 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -42,6 +44,33 @@ struct step {
   op o;
   int64_t a, b;
 };
+
+const char* op_name(op o) {
+  switch (o) {
+    case op::map_affine: return "map_affine";
+    case op::filter_mod: return "filter_mod";
+    case op::scan_plus: return "scan_plus";
+    case op::scan_inc_plus: return "scan_inc_plus";
+    case op::zip_iota_add: return "zip_iota_add";
+    case op::filter_op_halve: return "filter_op_halve";
+    case op::take_k: return "take_k";
+    case op::drop_k: return "drop_k";
+    default: return "?";
+  }
+}
+
+// Human-readable pipeline descriptor, printed with any failing assertion so
+// the exact randomly-drawn program is visible without re-deriving it from
+// the seed.
+std::string describe_pipeline(const std::vector<step>& steps) {
+  std::string out;
+  for (const auto& s : steps) {
+    if (!out.empty()) out += " | ";
+    out += op_name(s.o);
+    out += "(a=" + std::to_string(s.a) + ",b=" + std::to_string(s.b) + ")";
+  }
+  return out.empty() ? "<identity>" : out;
+}
 
 std::vector<step> make_pipeline(random::rng gen, std::size_t len) {
   std::vector<step> steps;
@@ -223,6 +252,12 @@ TEST_P(FuzzTest, AllLibrariesMatchModel) {
     return static_cast<int64_t>(gen.below(i, 201)) - 100;
   });
   auto steps = make_pipeline(gen.split(99), p.pipeline_len);
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << p.seed << " n=" << p.n << " block=" << p.block
+               << "\npipeline: " << describe_pipeline(steps)
+               << "\n[replay: PBDS_SEED=" << p.seed
+               << " ./test_fuzz --gtest_filter=*_n" << p.n << "_B" << p.block
+               << "_L" << p.pipeline_len << "]");
   int64_t want = model_run({input.begin(), input.end()}, steps);
   EXPECT_EQ(lib_run<array_policy>(input.clone(), steps, 0), want);
   EXPECT_EQ(lib_run<rad_policy>(input.clone(), steps, 0), want);
@@ -230,12 +265,19 @@ TEST_P(FuzzTest, AllLibrariesMatchModel) {
 }
 
 std::vector<FuzzParam> fuzz_params() {
+  // PBDS_SEED=N replays a CI failure: the whole (n, block, len) grid runs
+  // under that one seed, and the failing combination is selected with the
+  // --gtest_filter printed in the failure's trace.
+  std::optional<std::uint64_t> replay;
+  if (const char* env = std::getenv("PBDS_SEED"))
+    replay = std::strtoull(env, nullptr, 0);
   std::vector<FuzzParam> ps;
   std::uint64_t seed = 1;
   for (std::size_t n : {0u, 1u, 37u, 1000u, 4099u}) {
     for (std::size_t block : {1u, 16u, 512u}) {
       for (std::size_t len : {1u, 2u, 4u, 7u}) {
-        ps.push_back(FuzzParam{seed++, n, block, len});
+        ps.push_back(FuzzParam{replay.value_or(seed), n, block, len});
+        ++seed;
       }
     }
   }

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "benchmarks/policies.hpp"
@@ -23,11 +25,31 @@ struct Param {
   std::uint64_t seed;
 };
 
+// PBDS_SEED=N overrides every sweep entry's seed, replaying a CI failure's
+// exact input data under the same (n, block) grid.
+std::uint64_t active_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("PBDS_SEED"))
+    return std::strtoull(env, nullptr, 0);
+  return fallback;
+}
+
 class PropertyTest : public ::testing::TestWithParam<Param> {
  protected:
   void SetUp() override {
+    std::uint64_t seed = active_seed(GetParam().seed);
+    // Held as a member so the trace stays active for the whole test body
+    // (a SCOPED_TRACE local to SetUp expires when SetUp returns): any
+    // failing assertion prints the exact configuration and the one-command
+    // replay.
+    trace_.emplace(__FILE__, __LINE__,
+                   ::testing::Message()
+                       << "n=" << GetParam().n << " block="
+                       << GetParam().block << " seed=" << seed
+                       << "  [replay: PBDS_SEED=" << seed
+                       << " ./test_properties --gtest_filter=*n"
+                       << GetParam().n << "_B" << GetParam().block << "_*]");
     guard_ = std::make_unique<scoped_block_size>(GetParam().block);
-    random::rng gen(GetParam().seed);
+    random::rng gen(seed);
     input_ = parray<std::int64_t>::tabulate(
         GetParam().n, [&](std::size_t i) {
           return static_cast<std::int64_t>(gen.below(i, 2001)) - 1000;
@@ -38,6 +60,7 @@ class PropertyTest : public ::testing::TestWithParam<Param> {
     return {input_.begin(), input_.end()};
   }
 
+  std::optional<::testing::ScopedTrace> trace_;
   std::unique_ptr<scoped_block_size> guard_;
   parray<std::int64_t> input_;
 };

@@ -4,6 +4,7 @@
 // benchmark kernel.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,17 @@ using namespace pbds;  // NOLINT
 
 class Prop2Test : public ::testing::TestWithParam<std::size_t> {
  protected:
+  void SetUp() override {
+    // Member-held so the trace covers the whole test body; any failure
+    // prints the block size and the replay filter.
+    trace_.emplace(__FILE__, __LINE__,
+                   ::testing::Message()
+                       << "block=" << GetParam()
+                       << "  [replay: ./test_properties2 --gtest_filter=*B"
+                       << GetParam() << "]");
+  }
+
+  std::optional<::testing::ScopedTrace> trace_;
   scoped_block_size guard_{GetParam()};
 };
 
