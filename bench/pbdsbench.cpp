@@ -429,12 +429,16 @@ int main(int argc, char** argv) {
     // PBDS_SERVICE_* sets up. -n overrides the per-job pipeline size.
     pbds::service::soak_config scfg;
     scfg.service = pbds::service::service_config::from_env();
+    scfg.resumable =
+        pbds::detail::env_integer("PBDS_SERVICE_RESUMABLE", 0, 1, 0) == 1;
     if (c.n) scfg.n = c.n;
     auto r = pbds::service::run_soak(scfg);
     std::printf("%-12s %-6s %12zu %10.4f %12.1f jobs/s  shed %.3f  "
-                "p99 %.2f ms\n",
+                "p99 %.2f ms  resumed %llu  salvaged %llu\n",
                 "service-soak", "delay", scfg.n, r.seconds,
-                r.throughput_jobs_per_s, r.shed_rate, r.p99_ms);
+                r.throughput_jobs_per_s, r.shed_rate, r.p99_ms,
+                static_cast<unsigned long long>(r.stats.resumed),
+                static_cast<unsigned long long>(r.stats.blocks_salvaged));
     if (!c.json_path.empty()) {
       json_report report(c.json_path);
       measurement m{};
@@ -450,7 +454,14 @@ int main(int argc, char** argv) {
                    {"p99_ms", r.p99_ms},
                    {"completed", static_cast<double>(r.stats.completed)},
                    {"breaker_trips",
-                    static_cast<double>(r.stats.breaker_trips)}}});
+                    static_cast<double>(r.stats.breaker_trips)},
+                   {"resumed", static_cast<double>(r.stats.resumed)},
+                   {"completed_after_resume",
+                    static_cast<double>(r.stats.completed_after_resume)},
+                   {"blocks_salvaged",
+                    static_cast<double>(r.stats.blocks_salvaged)},
+                   {"blocks_redone",
+                    static_cast<double>(r.stats.blocks_redone)}}});
       if (!report.ok()) return 1;
     }
     return 0;

@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
       cfg.service.dispatchers = static_cast<unsigned>(bd::parse_long_arg(
           "--dispatchers", bd::require_value("--dispatchers", i, argc, argv),
           1, 64));
+    } else if (is("--resumable")) {
+      cfg.resumable = true;
     } else if (is("--json")) {
       json_path = bd::require_value("--json", i, argc, argv);
     } else if (is("--help") || is("-h")) {
@@ -70,8 +72,10 @@ int main(int argc, char** argv) {
           "usage: %s [--producers P] [--jobs J] [-n SIZE] [--seed S]\n"
           "          [--poison CLASS] [--budget BYTES] [--deadline-ms MS]\n"
           "          [--queue-cap Q] [--policy 0|1|2] [--dispatchers D]\n"
-          "          [--json PATH]\n"
-          "policy: 0 = block, 1 = reject, 2 = shed_oldest\n",
+          "          [--resumable] [--json PATH]\n"
+          "policy: 0 = block, 1 = reject, 2 = shed_oldest\n"
+          "--resumable: submit checkpointed jobs; retries resume at block\n"
+          "             granularity instead of restarting\n",
           argv[0]);
       return 0;
     } else {
@@ -96,6 +100,18 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(r.stats.retries),
       static_cast<unsigned long long>(r.stats.breaker_trips),
       static_cast<unsigned long long>(r.trace_hash));
+  if (cfg.resumable) {
+    std::printf(
+        "  resume: %llu resumed, %llu completed-after-resume, "
+        "%llu blocks salvaged, %llu blocks redone, %llu parked, "
+        "%llu readmitted\n",
+        static_cast<unsigned long long>(r.stats.resumed),
+        static_cast<unsigned long long>(r.stats.completed_after_resume),
+        static_cast<unsigned long long>(r.stats.blocks_salvaged),
+        static_cast<unsigned long long>(r.stats.blocks_redone),
+        static_cast<unsigned long long>(r.stats.parked),
+        static_cast<unsigned long long>(r.stats.readmitted));
+  }
 
   if (!json_path.empty()) {
     using pbds::bench_common::json_report;
@@ -120,7 +136,17 @@ int main(int argc, char** argv) {
                  {"failed", static_cast<double>(r.stats.failed)},
                  {"retries", static_cast<double>(r.stats.retries)},
                  {"breaker_trips",
-                  static_cast<double>(r.stats.breaker_trips)}}});
+                  static_cast<double>(r.stats.breaker_trips)},
+                 {"resumed", static_cast<double>(r.stats.resumed)},
+                 {"completed_after_resume",
+                  static_cast<double>(r.stats.completed_after_resume)},
+                 {"blocks_salvaged",
+                  static_cast<double>(r.stats.blocks_salvaged)},
+                 {"blocks_redone",
+                  static_cast<double>(r.stats.blocks_redone)},
+                 {"parked", static_cast<double>(r.stats.parked)},
+                 {"readmitted",
+                  static_cast<double>(r.stats.readmitted)}}});
     if (!report.ok()) {
       std::fprintf(stderr, "service-soak: report not persisted: %s\n",
                    report.last_error().c_str());

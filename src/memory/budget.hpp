@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/env.hpp"
+#include "recovery/progress.hpp"
 
 namespace pbds {
 
@@ -63,10 +64,25 @@ class budget_exceeded : public std::bad_alloc {
   [[nodiscard]] std::int64_t live() const noexcept { return live_; }
   [[nodiscard]] std::int64_t limit() const noexcept { return limit_; }
 
+  // Checkpointed operations (src/recovery/) annotate an in-flight refusal
+  // with how far they got before rethrowing, so callers can see the
+  // salvageable progress. Plain POD members keep the (implicit, noexcept)
+  // copy required of a bad_alloc subclass.
+  void attach_progress(const recovery::progress& p) noexcept {
+    progress_ = p;
+    has_progress_ = true;
+  }
+  [[nodiscard]] bool has_progress() const noexcept { return has_progress_; }
+  [[nodiscard]] const recovery::progress& checkpoint_progress() const noexcept {
+    return progress_;
+  }
+
  private:
   std::size_t requested_;
   std::int64_t live_;
   std::int64_t limit_;
+  recovery::progress progress_{};
+  bool has_progress_ = false;
   // Fixed buffer: composing the message must not allocate — we are, by
   // definition, out of budget when this is constructed.
   char what_[160];

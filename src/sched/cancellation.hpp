@@ -32,8 +32,11 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "recovery/progress.hpp"
 
 namespace pbds {
 
@@ -46,6 +49,22 @@ class stall_detected : public std::runtime_error {
  public:
   explicit stall_detected(const std::string& what)
       : std::runtime_error(what) {}
+
+  // Checkpointed operations (src/recovery/) annotate an in-flight stall
+  // with how far they got before rethrowing, so the retry/resume machinery
+  // can report salvageable progress.
+  void attach_progress(const recovery::progress& p) noexcept {
+    progress_ = p;
+    has_progress_ = true;
+  }
+  [[nodiscard]] bool has_progress() const noexcept { return has_progress_; }
+  [[nodiscard]] const recovery::progress& checkpoint_progress() const noexcept {
+    return progress_;
+  }
+
+ private:
+  recovery::progress progress_{};
+  bool has_progress_ = false;
 };
 
 }  // namespace pbds
@@ -66,22 +85,38 @@ class cancel_state {
 
   // Record a thrown exception and request cancellation. The first caller
   // wins the `first_` slot; all callers flip `cancelled`. Safe to call
-  // concurrently from any worker.
+  // concurrently from any worker (or the watchdog thread). The claim
+  // goes through three states — 0 free, 1 writing, 2 published — because
+  // a LOSING capture also stores `cancelled_`, and a reader reaching
+  // rethrow_first through the loser's store must not touch `first_`
+  // while the winner is still writing it.
   void capture(std::exception_ptr e) noexcept {
-    if (!claimed_.exchange(true, std::memory_order_acq_rel))
+    int expected = 0;
+    if (claim_.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acq_rel)) {
       first_ = std::move(e);
+      claim_.store(2, std::memory_order_release);
+    }
     cancelled_.store(true, std::memory_order_release);
   }
 
-  // Rethrow the winning exception. Call only after the region has fully
-  // joined (the join edges make `first_` visible to the root thread).
+  // Rethrow the winning exception. Safe from any thread that observed
+  // `cancelled()`: the claim handshake (not the join edges alone) makes
+  // `first_` visible, so this also covers asynchronous captures — a
+  // watchdog deadline or stagnation cancel racing a dispatcher's
+  // post-attempt rethrow.
   void rethrow_first() {
     assert(cancelled() && "rethrow_first on a region that never failed");
-    if (first_) std::rethrow_exception(first_);
+    int c = claim_.load(std::memory_order_acquire);
+    while (c == 1) {  // winner mid-write; publication is a few stores away
+      std::this_thread::yield();
+      c = claim_.load(std::memory_order_acquire);
+    }
+    if (c == 2 && first_) std::rethrow_exception(first_);
   }
 
  private:
-  std::atomic<bool> claimed_{false};
+  std::atomic<int> claim_{0};
   std::atomic<bool> cancelled_{false};
   std::exception_ptr first_;
 };
@@ -107,6 +142,11 @@ inline std::atomic<bool> g_region_tracking{false};
 // overloads); time_point::max() means none.
 inline thread_local std::chrono::steady_clock::time_point tl_deadline =
     std::chrono::steady_clock::time_point::max();
+
+// Depth of nested cancel_shields on this thread. Roots entered under a
+// shield are must-complete: they never register with the watchdog, so
+// neither a deadline nor a stagnation sweep can collapse them.
+inline thread_local int tl_shield_depth = 0;
 
 struct region_entry {
   cancel_state* state;
@@ -169,10 +209,12 @@ class cancel_scope {
       detail::tl_cancel = &local_;
       // Publish the region to the watchdog when tracking is on or this
       // root carries a deadline. Root scopes only — one registration per
-      // top-level region, not per nested fork.
+      // top-level region, not per nested fork — and never under a
+      // cancel_shield, whose loops must run to completion.
       auto deadline = detail::tl_deadline;
-      if (detail::g_region_tracking.load(std::memory_order_relaxed) ||
-          deadline != std::chrono::steady_clock::time_point::max()) {
+      if (detail::tl_shield_depth == 0 &&
+          (detail::g_region_tracking.load(std::memory_order_relaxed) ||
+           deadline != std::chrono::steady_clock::time_point::max())) {
         detail::register_region(&local_, deadline);
         registered_ = true;
       }
@@ -218,17 +260,34 @@ class region_deadline {
 // root regions of their own. Used by must-complete loops (element
 // destruction, placeholder construction) whose bodies are noexcept or
 // self-catching — skipping their chunks would corrupt object lifetimes.
+//
+// Must-complete means must-complete: the shield also suspends the
+// enclosing job's region deadline and keeps the fresh roots out of the
+// watchdog's registry (see cancel_scope). Otherwise a shielded guarded
+// loop inherits the job's deadline through tl_deadline, the watchdog
+// cancels its root mid-loop, and the root join throws with whole blocks
+// skipped — exactly the unconstructed-slot corruption the shield exists
+// to prevent. Shielded loops are bounded (one pass over storage), so
+// withholding them from the watchdog cannot hide a livelock.
 class cancel_shield {
  public:
-  cancel_shield() noexcept : saved_(detail::tl_cancel) {
+  cancel_shield() noexcept
+      : saved_(detail::tl_cancel), saved_deadline_(detail::tl_deadline) {
     detail::tl_cancel = nullptr;
+    detail::tl_deadline = std::chrono::steady_clock::time_point::max();
+    ++detail::tl_shield_depth;
   }
-  ~cancel_shield() { detail::tl_cancel = saved_; }
+  ~cancel_shield() {
+    --detail::tl_shield_depth;
+    detail::tl_deadline = saved_deadline_;
+    detail::tl_cancel = saved_;
+  }
   cancel_shield(const cancel_shield&) = delete;
   cancel_shield& operator=(const cancel_shield&) = delete;
 
  private:
   cancel_state* saved_;
+  std::chrono::steady_clock::time_point saved_deadline_;
 };
 
 }  // namespace pbds::sched

@@ -59,6 +59,7 @@
 
 #include "core/env.hpp"
 #include "memory/budget.hpp"
+#include "recovery/resumable.hpp"
 #include "sched/cancellation.hpp"
 #include "sched/exec_policy.hpp"
 #include "sched/scheduler.hpp"
@@ -90,6 +91,9 @@ struct service_config {
   // (counted in trace_dropped()). trace_hash() stays incremental over the
   // *full* event sequence, so replay fingerprints survive the bound.
   std::size_t trace_capacity = 1 << 16;
+  // Most resumable jobs drain() will park for readmission into a later
+  // service; beyond this, drain-cancelled checkpoints are discarded.
+  std::size_t max_parked = 256;
 
   // PBDS_SERVICE_* knobs, parsed strictly (core/env.hpp): malformed
   // values warn once and keep the default. POLICY is numeric:
@@ -115,6 +119,9 @@ struct service_config {
     c.trace_capacity = static_cast<std::size_t>(de::env_integer(
         "PBDS_SERVICE_TRACE_CAP", 0, 1 << 24,
         static_cast<long long>(c.trace_capacity)));
+    c.max_parked = static_cast<std::size_t>(de::env_integer(
+        "PBDS_RESUME_MAX_PARKED", 0, 1 << 20,
+        static_cast<long long>(c.max_parked)));
     return c;
   }
 };
@@ -149,6 +156,9 @@ enum class event : unsigned char {
   cancel, // drain cancelled a queued or in-flight job
   drain_begin,
   drain_end,
+  resume,   // a retry of a checkpointed job (aux = blocks already complete)
+  park,     // drain parked a cancelled resumable job's checkpoint
+  readmit,  // a parked checkpoint was resubmitted (aux = blocks salvageable)
 };
 
 [[nodiscard]] constexpr const char* to_string(event e) noexcept {
@@ -167,6 +177,9 @@ enum class event : unsigned char {
     case event::cancel: return "cancel";
     case event::drain_begin: return "drain_begin";
     case event::drain_end: return "drain_end";
+    case event::resume: return "resume";
+    case event::park: return "park";
+    case event::readmit: return "readmit";
   }
   return "unknown";
 }
@@ -174,6 +187,11 @@ enum class event : unsigned char {
 struct trace_entry {
   event ev;
   unsigned job_class;
+  // Event-specific payload: resumed/salvageable block counts for
+  // resume/park/readmit, 0 elsewhere. Folded into trace_hash(), so replay
+  // fingerprints cover *how much* progress recovery preserved, not just
+  // that it happened.
+  std::uint32_t aux = 0;
   friend bool operator==(const trace_entry&, const trace_entry&) = default;
 };
 
@@ -188,12 +206,29 @@ struct service_stats {
   std::uint64_t retries = 0;
   std::uint64_t breaker_trips = 0;
   std::uint64_t breaker_probes = 0;
+  // Recovery accounting (checkpointed jobs only).
+  std::uint64_t resumed = 0;                // retries that resumed a ledger
+  std::uint64_t parked = 0;                 // checkpoints parked by drain
+  std::uint64_t readmitted = 0;             // parked checkpoints resubmitted
+  std::uint64_t completed_after_resume = 0; // done on a 2nd+ attempt
+  std::uint64_t blocks_salvaged = 0;        // block executions avoided
+  std::uint64_t blocks_redone = 0;          // started-incomplete re-runs
 };
+
+// Thunk form of a checkpointed job: receives the job's checkpoint and
+// binds its resumable slots to whatever checkpointed ops it runs.
+using resumable_fn = std::function<void(recovery::job_checkpoint&)>;
 
 namespace detail {
 
 struct job_record {
   std::function<void()> thunk;
+  // Checkpointed jobs use these two instead of `thunk`: the checkpoint
+  // survives failed attempts (retry resumes it) and drain (parked for
+  // readmission into a later service).
+  resumable_fn rthunk;
+  std::shared_ptr<recovery::job_checkpoint> checkpoint;
+  bool readmitted = false;  // admitted with a previously-run checkpoint
   unsigned job_class = 0;
   job_limits limits;
   std::uint64_t id = 0;
@@ -207,6 +242,16 @@ struct job_record {
 };
 
 }  // namespace detail
+
+// A drain-cancelled resumable job, extracted via take_parked(): everything
+// needed to resubmit it (resubmit()) into this or a fresh service, with
+// its partial progress intact.
+struct parked_job {
+  unsigned job_class = 0;
+  job_limits limits;
+  resumable_fn thunk;
+  std::shared_ptr<recovery::job_checkpoint> checkpoint;
+};
 
 // Handle to a submitted job. Copyable; outliving the service is safe (the
 // record is shared), but wait()/get() in manual mode only return if
@@ -280,7 +325,47 @@ class pipeline_service {
     rec->thunk = std::move(thunk);
     rec->job_class = job_class;
     rec->limits = resolve(limits);
+    return admit(std::move(rec));
+  }
 
+  // Submit a checkpointed job: `fn` receives the job's checkpoint and
+  // binds resumable slots for the checkpointed ops it runs. Retries resume
+  // from the checkpoint instead of restarting, and a drain parks it for
+  // readmission. Pass an existing checkpoint (e.g. from a parked job) to
+  // continue its progress; a fresh one is created otherwise.
+  job_ticket submit_resumable(
+      unsigned job_class, resumable_fn fn, job_limits limits = {},
+      std::shared_ptr<recovery::job_checkpoint> checkpoint = nullptr) {
+    auto rec = std::make_shared<detail::job_record>();
+    rec->readmitted = checkpoint != nullptr && checkpoint->attempts() > 0;
+    rec->checkpoint = checkpoint ? std::move(checkpoint)
+                                 : std::make_shared<recovery::job_checkpoint>();
+    rec->rthunk = std::move(fn);
+    rec->job_class = job_class;
+    rec->limits = resolve(limits);
+    return admit(std::move(rec));
+  }
+
+  // Resubmit a job parked by a drain (possibly into a different service),
+  // resuming from its parked checkpoint.
+  job_ticket resubmit(parked_job&& pj) {
+    return submit_resumable(pj.job_class, std::move(pj.thunk), pj.limits,
+                            std::move(pj.checkpoint));
+  }
+
+  // Extract the jobs drain() parked (resumable jobs it had to cancel).
+  [[nodiscard]] std::vector<parked_job> take_parked() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<parked_job> out;
+    out.reserve(parked_.size());
+    for (auto& pj : parked_) out.push_back(std::move(pj));
+    parked_.clear();
+    return out;
+  }
+
+ private:
+  job_ticket admit(std::shared_ptr<detail::job_record> rec) {
+    const unsigned job_class = rec->job_class;
     std::unique_lock<std::mutex> lk(mutex_);
     rec->id = next_job_id_++;
     ++stats_.submitted;
@@ -333,11 +418,18 @@ class pipeline_service {
     queue_.push(rec);
     record(event::admit, job_class);
     ++stats_.admitted;
+    if (rec->readmitted) {
+      record(event::readmit, job_class,
+             static_cast<std::uint32_t>(
+                 rec->checkpoint->aggregate().blocks_complete));
+      ++stats_.readmitted;
+    }
     lk.unlock();
     cv_work_.notify_one();
     return job_ticket(std::move(rec));
   }
 
+ public:
   // Manual mode: run the next queued job on the calling thread. Returns
   // false when the queue is empty. Must be called outside any fork-join
   // region.
@@ -401,6 +493,7 @@ class pipeline_service {
         // A cancelled probe never reports on_result; re-open the breaker
         // (with cooldown credit) so the class isn't stranded half_open.
         if (rec->probe) breaker_for(rec->job_class).abort_probe();
+        park_locked(*rec);
         finish(std::move(rec), job_status::cancelled,
                std::make_exception_ptr(
                    overloaded(overload_reason::drain_cancelled)));
@@ -501,7 +594,7 @@ class pipeline_service {
     return it->second;
   }
 
-  void record(event ev, unsigned job_class) {
+  void record(event ev, unsigned job_class, std::uint32_t aux = 0) {
     auto mix = [this](std::uint8_t b) {
       trace_hash_ ^= b;
       trace_hash_ *= 1099511628211ull;
@@ -509,11 +602,30 @@ class pipeline_service {
     mix(static_cast<std::uint8_t>(ev));
     mix(static_cast<std::uint8_t>(job_class));
     mix(static_cast<std::uint8_t>(job_class >> 8));
-    trace_.push_back({ev, job_class});
+    mix(static_cast<std::uint8_t>(aux));
+    mix(static_cast<std::uint8_t>(aux >> 8));
+    mix(static_cast<std::uint8_t>(aux >> 16));
+    mix(static_cast<std::uint8_t>(aux >> 24));
+    trace_.push_back({ev, job_class, aux});
     while (trace_.size() > cfg_.trace_capacity) {
       trace_.pop_front();
       ++trace_dropped_;
     }
+  }
+
+  // Park a drain-cancelled resumable job's checkpoint for readmission.
+  // Called with the service mutex held. Bounded by cfg_.max_parked;
+  // overflow discards the checkpoint (the job is still reported
+  // cancelled either way).
+  void park_locked(detail::job_record& rec) {
+    if (!rec.checkpoint || !rec.rthunk) return;
+    if (parked_.size() >= cfg_.max_parked) return;
+    auto p = rec.checkpoint->aggregate();
+    parked_.push_back(parked_job{rec.job_class, rec.limits,
+                                 std::move(rec.rthunk), rec.checkpoint});
+    record(event::park, rec.job_class,
+           static_cast<std::uint32_t>(p.blocks_complete));
+    ++stats_.parked;
   }
 
   // Terminal transition on a record. Service mutex may be held; takes the
@@ -566,7 +678,27 @@ class pipeline_service {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (draining_) break;  // honor the drain deadline over retries
-        record(event::retry, rec->job_class);
+        // A retry is pointless while the class's breaker is open (other
+        // executions of the class tripped it since this job was
+        // admitted): fail fast *without* burning a checkpoint attempt or
+        // counting a retry — the job never re-executes, so its ledger
+        // budget must stay intact for a later readmission.
+        auto it = breakers_.find(rec->job_class);
+        if (it != breakers_.end() &&
+            it->second.current_state() == circuit_breaker::state::open) {
+          record(event::reject_open, rec->job_class);
+          err = std::make_exception_ptr(
+              overloaded(overload_reason::circuit_open));
+          break;
+        }
+        if (rec->checkpoint) {
+          record(event::resume, rec->job_class,
+                 static_cast<std::uint32_t>(
+                     rec->checkpoint->aggregate().blocks_complete));
+          ++stats_.resumed;
+        } else {
+          record(event::retry, rec->job_class);
+        }
         ++stats_.retries;
       }
       std::this_thread::sleep_for(std::chrono::microseconds(
@@ -605,7 +737,15 @@ class pipeline_service {
             overloaded(overload_reason::drain_cancelled)));
     }
     try {
-      rec.thunk();
+      if (rec.checkpoint) {
+        // Attempt accounting lives on the checkpoint: one bump per actual
+        // thunk execution (the breaker-open fast path above never gets
+        // here, so it burns no attempt).
+        rec.checkpoint->begin_attempt();
+        rec.rthunk(*rec.checkpoint);
+      } else {
+        rec.thunk();
+      }
     } catch (...) {
       cs->capture(std::current_exception());
     }
@@ -660,10 +800,20 @@ class pipeline_service {
         st = job_status::done;
         record(event::complete, rec->job_class);
         ++stats_.completed;
+        if (rec->checkpoint) {
+          auto p = rec->checkpoint->aggregate();
+          stats_.blocks_salvaged += p.salvaged;
+          stats_.blocks_redone += p.redone;
+          if (rec->checkpoint->attempts() > 1 || rec->readmitted)
+            ++stats_.completed_after_resume;
+        }
       } else if (cancelled) {
         st = job_status::cancelled;
         record(event::cancel, rec->job_class);
         ++stats_.cancelled;
+        // Preserve the partial progress of a drain-cancelled in-flight
+        // job for readmission into a post-drain service.
+        if (draining_) park_locked(*rec);
       } else {
         st = job_status::failed;
         record(event::fail, rec->job_class);
@@ -697,6 +847,7 @@ class pipeline_service {
   std::condition_variable cv_space_;  // block-policy submitters: space freed
   std::condition_variable cv_idle_;   // drain: backlog finished
   admission_queue<detail::job_record> queue_;
+  std::deque<parked_job> parked_;
   std::unordered_map<unsigned, circuit_breaker> breakers_;
   std::vector<sched::cancel_state*> inflight_;
   std::deque<trace_entry> trace_;

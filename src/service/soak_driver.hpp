@@ -24,6 +24,7 @@
 
 #include "array/parray.hpp"
 #include "core/delayed.hpp"
+#include "recovery/checkpoint_ops.hpp"
 #include "service/pipeline_service.hpp"
 
 namespace pbds::service {
@@ -37,6 +38,7 @@ struct soak_config {
   std::int64_t job_budget_bytes = 0;  // per-job budget_scope (0 = none)
   long job_deadline_ms = 0;           // per-attempt deadline (0 = none)
   long drain_deadline_ms = -1;        // -1 = drain the full backlog
+  bool resumable = false;  // submit checkpointed jobs (block-granular resume)
   service_config service;
 };
 
@@ -99,6 +101,67 @@ inline std::uint64_t soak_pipeline(unsigned job_class, std::size_t n) {
   }
 }
 
+// Checkpointed twin of soak_pipeline: the same four pipeline shapes with
+// their blockwise terminal passes routed through recovery:: ops bound to
+// stable slots of the job's checkpoint, so a retried or readmitted job
+// redoes only the blocks its failed attempts never finished. Eager
+// pipeline *construction* (class 1's filter pack, class 3's flatten) is
+// rebuilt per attempt — recovery is block-granular over the checkpointed
+// passes, not a full continuation snapshot.
+inline std::uint64_t soak_pipeline_resumable(unsigned job_class,
+                                             std::size_t n,
+                                             recovery::job_checkpoint& ck) {
+  auto plus = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  switch (job_class & 3u) {
+    case 0: {
+      auto sq = delayed::map(
+          [](std::size_t i) {
+            return static_cast<std::uint64_t>(i) * (i ^ 0x9e37u);
+          },
+          delayed::iota(n));
+      return recovery::reduce(plus, std::uint64_t{0}, sq,
+                              ck.slot<std::uint64_t>(0));
+    }
+    case 1: {
+      auto input = parray<std::uint64_t>::tabulate(
+          n, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+      auto thirds =
+          delayed::filter([](std::uint64_t v) { return v % 3 == 0; }, input);
+      auto prefix = recovery::scan(plus, std::uint64_t{0}, thirds,
+                                   ck.slot<std::uint64_t>(0))
+                        .first;
+      return recovery::reduce(plus, std::uint64_t{0}, prefix,
+                              ck.slot<std::uint64_t>(1));
+    }
+    case 2: {
+      auto [inc, total] = recovery::scan_inclusive(
+          plus, std::uint64_t{0},
+          delayed::tabulate(n,
+                            [](std::size_t i) {
+                              return static_cast<std::uint64_t>(i *
+                                                                2654435761u);
+                            }),
+          ck.slot<std::uint64_t>(0));
+      (void)inc;
+      return total;
+    }
+    default: {
+      std::size_t outers = n / 64 + 1;
+      auto heads = parray<std::uint64_t>::tabulate(
+          outers, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+      auto inners = delayed::map(
+          [](std::uint64_t v) {
+            return parray<std::uint64_t>::tabulate(
+                64, [v](std::size_t j) { return v + j; });
+          },
+          delayed::view(heads));
+      const auto& flat = recovery::to_array(delayed::flatten(inners),
+                                            ck.slot<std::uint64_t>(0));
+      return delayed::reduce(plus, std::uint64_t{0}, delayed::view(flat));
+    }
+  }
+}
+
 inline soak_result run_soak(soak_config cfg) {
   // A closed loop needs someone to run the jobs the producers wait on;
   // manual mode would deadlock them.
@@ -133,15 +196,29 @@ inline soak_result run_soak(soak_config cfg) {
         const auto start = std::chrono::steady_clock::now();
         try {
           const std::size_t n = cfg.n;
-          auto ticket = svc.submit(
-              cls,
-              [cls, n, poisoned, &checksum] {
-                if (poisoned)
-                  throw std::runtime_error("soak: poisoned job class");
-                checksum.fetch_xor(soak_pipeline(cls, n),
-                                   std::memory_order_relaxed);
-              },
-              lim);
+          job_ticket ticket;
+          if (cfg.resumable) {
+            ticket = svc.submit_resumable(
+                cls,
+                [cls, n, poisoned,
+                 &checksum](recovery::job_checkpoint& ck) {
+                  if (poisoned)
+                    throw std::runtime_error("soak: poisoned job class");
+                  checksum.fetch_xor(soak_pipeline_resumable(cls, n, ck),
+                                     std::memory_order_relaxed);
+                },
+                lim);
+          } else {
+            ticket = svc.submit(
+                cls,
+                [cls, n, poisoned, &checksum] {
+                  if (poisoned)
+                    throw std::runtime_error("soak: poisoned job class");
+                  checksum.fetch_xor(soak_pipeline(cls, n),
+                                     std::memory_order_relaxed);
+                },
+                lim);
+          }
           ticket.wait();
           if (ticket.status() == job_status::done) {
             local.push_back(std::chrono::duration<double, std::milli>(

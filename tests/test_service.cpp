@@ -10,16 +10,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
 #include <vector>
 
+#include "core/block.hpp"
 #include "memory/budget.hpp"
 #include "memory/tracking.hpp"
+#include "recovery/checkpoint_ops.hpp"
 #include "sched/deterministic.hpp"
 #include "sched/parallel.hpp"
 #include "sched/scheduler.hpp"
@@ -494,6 +498,282 @@ TEST(Service, OverloadWithConstrainedBudgetTerminatesAndBalances) {
                 r.stats.shed + r.stats.cancelled,
             r.stats.submitted);
   EXPECT_GT(r.stats.completed, 0u);
+}
+
+// --- block-granular checkpoint/resume (PR 7) --------------------------------
+
+// Regression: a retry that hits the breaker-open fast path must fail the
+// job WITHOUT burning a checkpoint attempt, counting a retry, or emitting
+// a resume event — the job never re-executes, so its ledger budget must
+// stay intact for a later readmission. (Previously the retry ladder
+// re-ran the attempt and let the class's open breaker reject it only on
+// the next submission.)
+TEST(ServiceResume, BreakerOpenRetryBurnsNoCheckpointAttempt) {
+  auto cfg = manual_config(8, backpressure::reject);
+  cfg.breaker_threshold = 1;  // one failure of the class opens the breaker
+  pipeline_service svc(cfg);
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> release_a{false};
+  auto ck = std::make_shared<pbds::recovery::job_checkpoint>();
+  job_limits lim;
+  lim.max_retries = 3;
+  lim.retry_backoff_us = 1;
+  // A: checkpointed, fails retryably — but only after B has tripped the
+  // class breaker on another thread.
+  auto ta = svc.submit_resumable(
+      0,
+      [&](pbds::recovery::job_checkpoint&) {
+        a_started.store(true);
+        while (!release_a.load()) std::this_thread::yield();
+        throw pbds::stall_detected("test: transient stall");
+      },
+      lim, ck);
+  auto tb = svc.submit(0, [] { throw std::runtime_error("poisoned"); });
+  std::thread t1([&] { EXPECT_TRUE(svc.run_one()); });  // runs A, parks in it
+  while (!a_started.load()) std::this_thread::yield();
+  EXPECT_TRUE(svc.run_one());  // runs B: fails, trips the class-0 breaker
+  EXPECT_EQ(tb.status(), job_status::failed);
+  EXPECT_EQ(svc.breaker_state(0), circuit_breaker::state::open);
+  release_a.store(true);  // A's stall surfaces; its retry must fail fast
+  t1.join();
+  EXPECT_EQ(ta.status(), job_status::failed);
+  try {
+    ta.get();
+    FAIL() << "breaker-open retry should surface overloaded";
+  } catch (const overloaded& o) {
+    EXPECT_EQ(o.reason(), overload_reason::circuit_open);
+  }
+  // The regression's teeth: exactly the one real execution is accounted.
+  EXPECT_EQ(ck->attempts(), 1u);
+  auto st = svc.stats();
+  EXPECT_EQ(st.retries, 0u);
+  EXPECT_EQ(st.resumed, 0u);
+  bool saw_reject_open = false, saw_resume = false;
+  for (const auto& e : svc.trace()) {
+    saw_reject_open |= e.ev == event::reject_open;
+    saw_resume |= e.ev == event::resume;
+  }
+  EXPECT_TRUE(saw_reject_open);
+  EXPECT_FALSE(saw_resume);
+}
+
+// A checkpointed job whose first attempt stalls resumes on the retry:
+// the resume event carries the salvageable-block count, the retry skips
+// completed blocks, and the job lands in completed_after_resume.
+TEST(ServiceResume, RetryResumesFromLedgerAndRecordsProgress) {
+  pipeline_service svc(manual_config(4, backpressure::reject));
+  auto ck = std::make_shared<pbds::recovery::job_checkpoint>();
+  job_limits lim;
+  lim.max_retries = 2;
+  lim.retry_backoff_us = 1;
+  std::uint64_t result = 0;
+  auto t = svc.submit_resumable(
+      0,
+      [&result](pbds::recovery::job_checkpoint& c) {
+        pbds::sched::scoped_sequential seq;
+        pbds::scoped_block_size bs(256);
+        std::optional<pbds::recovery::scoped_boundary_faults> inj;
+        if (c.attempts() == 1)
+          inj.emplace(pbds::recovery::boundary_fault_kind::stall, 3);
+        auto xs = pbds::delayed::tabulate(1600, [](std::size_t i) {
+          return static_cast<std::uint64_t>(i);
+        });
+        result = pbds::recovery::reduce(
+            [](std::uint64_t a, std::uint64_t b) { return a + b; },
+            std::uint64_t{0}, xs, c.slot<std::uint64_t>(0));
+      },
+      lim, ck);
+  EXPECT_TRUE(svc.run_one());  // both attempts inside this run_one
+  EXPECT_EQ(t.status(), job_status::done);
+  EXPECT_EQ(result, 1600ull * 1599 / 2);
+  EXPECT_EQ(ck->attempts(), 2u);
+  auto st = svc.stats();
+  EXPECT_EQ(st.resumed, 1u);
+  EXPECT_EQ(st.retries, 1u);
+  EXPECT_EQ(st.completed_after_resume, 1u);
+  EXPECT_GE(st.blocks_salvaged, 3u);
+  EXPECT_EQ(st.blocks_redone, 0u);
+  // Sequential attempt 1 completed exactly the 3 allowed unit starts; the
+  // resume event's aux must say so.
+  bool saw = false;
+  for (const auto& e : svc.trace()) {
+    if (e.ev == event::resume) {
+      saw = true;
+      EXPECT_EQ(e.aux, 3u);
+    }
+  }
+  EXPECT_TRUE(saw);
+  // Every block ran exactly once across both attempts.
+  EXPECT_EQ(ck->aggregate().executions, 7u);
+}
+
+// Drain cancels an in-flight resumable job, parks its checkpoint with the
+// progress it made, and a fresh service readmits and finishes it without
+// re-executing a single completed block.
+TEST(ServiceResume, DrainParksInFlightProgressForReadmission) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto rthunk = [&](pbds::recovery::job_checkpoint& ck) {
+    pbds::sched::scoped_sequential seq;
+    pbds::scoped_block_size bs(256);
+    auto xs = pbds::delayed::tabulate(1600, [](std::size_t i) {
+      return static_cast<std::uint64_t>(i * 3 + 1);
+    });
+    const auto& a =
+        pbds::recovery::to_array(xs, ck.slot<std::uint64_t>(0));  // 7 blocks
+    ASSERT_EQ(a.size(), 1600u);
+    started.store(true);
+    // Hold the job in flight until the test has driven drain past its
+    // deadline (the cancellation is captured into this job's root scope;
+    // returning surfaces it).
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  service_config cfg;
+  cfg.queue_capacity = 4;
+  cfg.dispatchers = 1;
+  std::uint64_t parked_hash = 0;
+  std::vector<parked_job> parked;
+  {
+    pipeline_service svc(cfg);
+    auto t = svc.submit_resumable(2, rthunk);
+    while (!started.load()) std::this_thread::yield();
+    std::thread drainer([&] { svc.drain(20); });
+    // Give the bounded drain ample time to hit its deadline and sweep the
+    // in-flight cancellation before letting the job observe it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    release.store(true);
+    drainer.join();
+    EXPECT_EQ(t.status(), job_status::cancelled);
+    auto st = svc.stats();
+    EXPECT_EQ(st.cancelled, 1u);
+    EXPECT_EQ(st.parked, 1u);
+    bool saw_park = false;
+    for (const auto& e : svc.trace()) {
+      if (e.ev == event::park) {
+        saw_park = true;
+        EXPECT_EQ(e.aux, 7u);  // all 7 blocks were already complete
+      }
+    }
+    EXPECT_TRUE(saw_park);
+    parked = svc.take_parked();
+    parked_hash = svc.trace_hash();
+  }
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_EQ(parked[0].job_class, 2u);
+  ASSERT_NE(parked[0].checkpoint, nullptr);
+  EXPECT_EQ(parked[0].checkpoint->aggregate().blocks_complete, 7u);
+  EXPECT_NE(parked_hash, 0u);
+  // Readmit into a fresh (manual) service: salvage everything.
+  release.store(true);  // the closure re-checks; let it fall straight through
+  pipeline_service svc2(manual_config(4, backpressure::reject));
+  auto ck = parked[0].checkpoint;
+  auto t2 = svc2.resubmit(std::move(parked[0]));
+  EXPECT_TRUE(svc2.run_one());
+  EXPECT_EQ(t2.status(), job_status::done);
+  auto st2 = svc2.stats();
+  EXPECT_EQ(st2.readmitted, 1u);
+  EXPECT_EQ(st2.completed_after_resume, 1u);
+  EXPECT_GE(st2.blocks_salvaged, 7u);
+  bool saw_readmit = false;
+  for (const auto& e : svc2.trace()) {
+    if (e.ev == event::readmit) {
+      saw_readmit = true;
+      EXPECT_EQ(e.aux, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_readmit);
+  // "No block executed more than once after the successful attempt": the
+  // 7 executions all happened in the original pre-drain attempt.
+  EXPECT_EQ(ck->aggregate().executions, 7u);
+}
+
+// Seed replay with recovery in play: identical scripted runs of
+// checkpointed jobs (deterministic per-job stall points) produce identical
+// traces and trace hashes, with resume events present — the replay
+// fingerprint covers recovery decisions too.
+TEST(ServiceResume, SeedReplayTraceHashCoversResumeEvents) {
+  auto run = [](std::uint64_t seed) {
+    auto cfg = manual_config(8, backpressure::reject);
+    cfg.seed = seed;
+    pipeline_service svc(cfg);
+    job_limits lim;
+    lim.max_retries = 1;
+    lim.retry_backoff_us = 1;
+    for (unsigned i = 0; i < 6; ++i) {
+      svc.submit_resumable(
+          i % 2,
+          [i](pbds::recovery::job_checkpoint& c) {
+            pbds::sched::scoped_sequential seq;
+            pbds::scoped_block_size bs(256);
+            std::optional<pbds::recovery::scoped_boundary_faults> inj;
+            if (c.attempts() == 1)
+              inj.emplace(pbds::recovery::boundary_fault_kind::stall,
+                          static_cast<std::int64_t>(i % 5));
+            auto xs = pbds::delayed::tabulate(1600, [](std::size_t k) {
+              return static_cast<std::uint64_t>(k + 11);
+            });
+            (void)pbds::recovery::reduce(
+                [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                std::uint64_t{0}, xs, c.slot<std::uint64_t>(0));
+          },
+          lim);
+      while (svc.run_one()) {
+      }
+    }
+    svc.drain();
+    return std::tuple(svc.trace(), svc.trace_hash(), svc.stats().resumed);
+  };
+  auto [trace_a, hash_a, resumed_a] = run(21);
+  auto [trace_b, hash_b, resumed_b] = run(21);
+  EXPECT_TRUE(trace_a == trace_b);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(resumed_a, resumed_b);
+  EXPECT_EQ(resumed_a, 6u);  // every job stalls once, then resumes
+  // aux payloads differ per job (i % 5 completed blocks) and are folded
+  // into the hash; make sure they actually appeared.
+  bool saw_nonzero_aux = false;
+  for (const auto& e : trace_a) {
+    if (e.ev == event::resume && e.aux > 0) saw_nonzero_aux = true;
+  }
+  EXPECT_TRUE(saw_nonzero_aux);
+}
+
+// The resumable soak converges under constrained budget at 2x capacity
+// with resumed jobs actually completing — the CI service-soak assertion,
+// in-process.
+TEST(ServiceResume, ResumableSoakUnderBudgetCompletesResumedJobs) {
+  // A 2 ms per-attempt deadline, enforced by a fast watchdog poll,
+  // interrupts first attempts mid-materialization; retries resume from
+  // the ledger. The per-job budget keeps allocation pressure on without
+  // starving the initial storage bind. Salvaged-block counts are
+  // timing-dependent under a real pool, so the deterministic salvage
+  // assertions live in RetryResumesFromLedgerAndRecordsProgress; here we
+  // require that resumed jobs exist and that some of them complete.
+  pbds::sched::start_watchdog({/*period_ms=*/2, /*warn_intervals=*/0,
+                               /*cancel_intervals=*/0});
+  soak_config cfg;
+  cfg.producers = 4;
+  cfg.jobs_per_producer = 10;
+  cfg.n = 1 << 19;
+  cfg.resumable = true;
+  cfg.job_budget_bytes = 16 * 1024 * 1024;
+  cfg.job_deadline_ms = 2;
+  cfg.service.queue_capacity = 8;
+  cfg.service.policy = backpressure::reject;
+  cfg.service.dispatchers = 2;
+  cfg.service.default_retries = 3;
+  cfg.service.default_backoff_us = 1;
+  auto r = run_soak(cfg);
+  pbds::sched::stop_watchdog();
+  EXPECT_EQ(r.stats.submitted, 40u);
+  EXPECT_EQ(r.stats.completed + r.stats.failed + r.stats.rejected +
+                r.stats.shed + r.stats.cancelled,
+            r.stats.submitted);
+  EXPECT_GT(r.stats.completed, 0u);
+  // Recovery must have been exercised, not just configured.
+  EXPECT_GT(r.stats.resumed, 0u);
+  EXPECT_GT(r.stats.completed_after_resume, 0u);
 }
 
 TEST(Service, ConfigFromEnvParsesStrictly) {
