@@ -8,6 +8,8 @@
 // peak space, and bytes allocated per run.
 //
 // `--bench all` and `--impl all` sweep; `--list` enumerates benchmarks.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +38,8 @@
 #include "benchmarks/spmv.hpp"
 #include "benchmarks/tokens.hpp"
 #include "benchmarks/wc.hpp"
+#include "integrity/block_digest.hpp"
+#include "recovery/checkpoint_ops.hpp"
 #include "service/soak_driver.hpp"
 
 namespace {
@@ -51,6 +55,7 @@ struct cli {
   options opt;
   std::string json_path;    // empty = no JSON report
   bool service = false;     // run the pipeline-service soak instead
+  bool verify_overhead = false;  // A/B the integrity digest cost instead
   bool isolate = false;     // fork one subprocess per configuration
   double timeout_sec = 60;  // per-configuration wall clock (isolated mode)
   int retries = 1;          // max retries after timeout/crash (isolated mode)
@@ -262,6 +267,8 @@ cli parse_cli(int argc, char** argv) {
       c.json_path = bd::require_value("--json", i, argc, argv);
     } else if (is("--service")) {
       c.service = true;
+    } else if (is("--verify-overhead")) {
+      c.verify_overhead = true;
     } else if (is("--isolate")) {
       c.isolate = true;
     } else if (is("--timeout")) {
@@ -308,12 +315,15 @@ cli parse_cli(int argc, char** argv) {
           "usage: %s [--bench NAME|all] [--impl array|rad|delay|all]\n"
           "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n"
           "          [--json PATH] [--isolate] [--timeout SECONDS]\n"
-          "          [--retries N] [--service]\n"
+          "          [--retries N] [--service] [--verify-overhead]\n"
           "          [--baseline REPORT.json] [--threshold X]\n"
           "          [--bytes-threshold X] [--inject-slowdown F]\n"
           "--service runs the pipeline-service overload soak (configured\n"
           "via PBDS_SERVICE_*; see bench/service_soak.cpp for the\n"
           "standalone driver with per-knob flags)\n"
+          "--verify-overhead times the same contiguous checkpointed\n"
+          "kernels with digest-on-complete enabled vs disabled and\n"
+          "records the ratio (the integrity tax DESIGN.md documents)\n"
           "--baseline replays every ok row of a committed --json report at\n"
           "its recorded n and exits 1 if any fresh median exceeds\n"
           "baseline*(1+--threshold) or allocated bytes exceed\n"
@@ -417,12 +427,132 @@ int run_baseline_mode(const cli& c) {
   return regs.empty() ? 0 : 1;
 }
 
+// --- integrity-overhead mode (--verify-overhead) -------------------------------
+
+// Times identical contiguous checkpointed kernels with digest-on-complete
+// enabled vs disabled — a fresh checkpoint per iteration, so every run pays
+// full materialization plus digest, never salvage. Two shapes bracket the
+// tax: `copy` re-materializes an existing parray (bandwidth-bound, the
+// worst case for a digest that re-reads every completed block) and
+// `map.iota` computes each element (the common pipeline case). The ratio
+// lands in the JSON extras so CI can track it against the bound DESIGN.md
+// documents for contiguous kernels.
+int run_verify_overhead(const cli& c) {
+  const std::size_t n = c.n ? c.n : c.opt.scaled(std::size_t{1} << 24);
+  auto src = parray<std::uint64_t>::tabulate(n, [](std::size_t i) {
+    return static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull;
+  });
+  struct shape {
+    const char* name;
+    std::function<void()> run;
+  };
+  std::vector<shape> shapes;
+  shapes.push_back({"copy", [&] {
+                      recovery::job_checkpoint ck;
+                      do_not_optimize(
+                          recovery::to_array(src, ck.slot<std::uint64_t>(0))
+                              .size());
+                    }});
+  shapes.push_back({"map.iota", [&, n] {
+                      recovery::job_checkpoint ck;
+                      auto xs = delayed::map(
+                          [](std::size_t i) {
+                            return static_cast<std::uint64_t>(i) *
+                                   (i ^ 0x9e37u);
+                          },
+                          delayed::iota(n));
+                      do_not_optimize(
+                          recovery::to_array(xs, ck.slot<std::uint64_t>(0))
+                              .size());
+                    }});
+  // Representative checkpointed-job shape: real per-element work (a few
+  // mix rounds, ~integrate/raycast cost class). copy/map.iota above are
+  // the adversarial floor — almost no compute per byte materialized, so
+  // the digest pass is maximally visible.
+  shapes.push_back({"compute", [&, n] {
+                      recovery::job_checkpoint ck;
+                      auto xs = delayed::map(
+                          [](std::size_t i) {
+                            std::uint64_t z = i + 0x9e3779b97f4a7c15ull;
+                            for (int r = 0; r < 8; ++r) {
+                              z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+                              z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+                            }
+                            return z ^ (z >> 31);
+                          },
+                          delayed::iota(n));
+                      do_not_optimize(
+                          recovery::to_array(xs, ck.slot<std::uint64_t>(0))
+                              .size());
+                    }});
+  std::unique_ptr<json_report> report;
+  if (!c.json_path.empty())
+    report = std::make_unique<json_report>(c.json_path);
+  std::printf("%-24s %12s %12s %12s %9s\n", "kernel", "n", "verify(s)",
+              "noverify(s)", "overhead");
+  for (const auto& s : shapes) {
+    // Interleave verify-on/verify-off runs (alternating order each pair)
+    // rather than timing two separate batches: the ratio is a few percent,
+    // and machine-load drift between batches would swamp it.
+    auto time_one = [&](bool verify) {
+      integrity::scoped_verify_resume v(verify);
+      auto t0 = std::chrono::steady_clock::now();
+      s.run();
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    using clock = std::chrono::steady_clock;
+    auto deadline =
+        clock::now() + std::chrono::duration<double>(c.opt.warmup);
+    do {
+      (void)time_one(true);
+      (void)time_one(false);
+    } while (clock::now() < deadline);
+    std::vector<double> ons, offs;
+    for (int r = 0; r < c.opt.repeat; ++r) {
+      if (r % 2 == 0) {
+        ons.push_back(time_one(true));
+        offs.push_back(time_one(false));
+      } else {
+        offs.push_back(time_one(false));
+        ons.push_back(time_one(true));
+      }
+    }
+    auto median = [](std::vector<double>& xs) {
+      std::sort(xs.begin(), xs.end());
+      std::size_t mid = xs.size() / 2;
+      return xs.size() % 2 == 1 ? xs[mid] : (xs[mid - 1] + xs[mid]) / 2.0;
+    };
+    double on_med = median(ons);
+    double off_med = median(offs);
+    double r = off_med > 0 ? on_med / off_med : 0.0;
+    std::printf("%-24s %12zu %12.4f %12.4f %+8.2f%%\n", s.name, n, on_med,
+                off_med, (r - 1.0) * 100);
+    if (report) {
+      measurement m{};
+      m.seconds = on_med;
+      m.median_seconds = on_med;
+      report->add({std::string("verify-overhead.") + s.name, "delay",
+                   run_status::ok, 1, m,
+                   {{"n", static_cast<double>(n)},
+                    {"verify_median_s", on_med},
+                    {"noverify_median_s", off_med},
+                    {"overhead_ratio", r}}});
+    }
+    std::fflush(stdout);
+  }
+  return report && !report->ok() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli c = parse_cli(argc, argv);
 
   if (!c.baseline_path.empty()) return run_baseline_mode(c);
+
+  if (c.verify_overhead) return run_verify_overhead(c);
 
   if (c.service) {
     // Pipeline-service overload soak: closed loop at whatever pressure

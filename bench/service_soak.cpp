@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
           1, 64));
     } else if (is("--resumable")) {
       cfg.resumable = true;
+    } else if (is("--bit-flip")) {
+      cfg.bit_flips = static_cast<std::size_t>(bd::parse_long_arg(
+          "--bit-flip", bd::require_value("--bit-flip", i, argc, argv), 1,
+          1 << 20));
     } else if (is("--json")) {
       json_path = bd::require_value("--json", i, argc, argv);
     } else if (is("--help") || is("-h")) {
@@ -72,10 +76,13 @@ int main(int argc, char** argv) {
           "usage: %s [--producers P] [--jobs J] [-n SIZE] [--seed S]\n"
           "          [--poison CLASS] [--budget BYTES] [--deadline-ms MS]\n"
           "          [--queue-cap Q] [--policy 0|1|2] [--dispatchers D]\n"
-          "          [--resumable] [--json PATH]\n"
+          "          [--resumable] [--bit-flip N] [--json PATH]\n"
           "policy: 0 = block, 1 = reject, 2 = shed_oldest\n"
           "--resumable: submit checkpointed jobs; retries resume at block\n"
-          "             granularity instead of restarting\n",
+          "             granularity instead of restarting\n"
+          "--bit-flip N: arm the integrity injector — every resume flips\n"
+          "             bits in N bytes of completed blocks; completed jobs\n"
+          "             are checked against the per-class oracle\n",
           argv[0]);
       return 0;
     } else {
@@ -112,6 +119,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.parked),
         static_cast<unsigned long long>(r.stats.readmitted));
   }
+  if (cfg.bit_flips > 0) {
+    std::printf(
+        "  integrity: %llu bit flips delivered, %llu corrupt events, "
+        "%llu blocks quarantined, %llu reexecuted, %llu result mismatches\n",
+        static_cast<unsigned long long>(r.bit_flips_delivered),
+        static_cast<unsigned long long>(r.stats.corrupt_detected),
+        static_cast<unsigned long long>(r.stats.blocks_quarantined),
+        static_cast<unsigned long long>(r.stats.blocks_reexecuted),
+        static_cast<unsigned long long>(r.result_mismatches));
+  }
 
   if (!json_path.empty()) {
     using pbds::bench_common::json_report;
@@ -146,7 +163,17 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.stats.blocks_redone)},
                  {"parked", static_cast<double>(r.stats.parked)},
                  {"readmitted",
-                  static_cast<double>(r.stats.readmitted)}}});
+                  static_cast<double>(r.stats.readmitted)},
+                 {"corrupt_detected",
+                  static_cast<double>(r.stats.corrupt_detected)},
+                 {"blocks_quarantined",
+                  static_cast<double>(r.stats.blocks_quarantined)},
+                 {"blocks_reexecuted",
+                  static_cast<double>(r.stats.blocks_reexecuted)},
+                 {"bit_flips_delivered",
+                  static_cast<double>(r.bit_flips_delivered)},
+                 {"result_mismatches",
+                  static_cast<double>(r.result_mismatches)}}});
     if (!report.ok()) {
       std::fprintf(stderr, "service-soak: report not persisted: %s\n",
                    report.last_error().c_str());

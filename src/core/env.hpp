@@ -13,9 +13,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>  // environ
+#endif
 
 namespace pbds::detail {
 
@@ -51,6 +56,62 @@ inline long long env_integer(const char* name, long long lo, long long hi,
                  name, env, lo, hi, fallback);
   }
   return fallback;
+}
+
+// The authoritative PBDS_* knob table — every knob any layer reads. The
+// consolidated table in docs/TESTING.md mirrors this list; a new knob is
+// added in both places or the unknown-variable warning below flags it.
+inline constexpr const char* kKnownEnvKnobs[] = {
+    "PBDS_NUM_THREADS",
+    "PBDS_SEED",
+    "PBDS_SEED_TRACE",
+    "PBDS_NO_BULK",
+    "PBDS_BUDGET_BYTES",
+    "PBDS_WATCHDOG_MS",
+    "PBDS_SERVICE_QUEUE_CAP",
+    "PBDS_SERVICE_POLICY",
+    "PBDS_SERVICE_DISPATCHERS",
+    "PBDS_SERVICE_BREAKER_K",
+    "PBDS_SERVICE_BREAKER_COOLDOWN",
+    "PBDS_SERVICE_RETRIES",
+    "PBDS_SERVICE_BACKOFF_US",
+    "PBDS_SERVICE_TRACE_CAP",
+    "PBDS_RESUME_DISABLE",
+    "PBDS_RESUME_MAX_PARKED",
+    "PBDS_VERIFY_RESUME",
+    "PBDS_VERIFY_BULK",
+};
+
+// Warn once per process about PBDS_-prefixed environment variables that
+// match no knob in the table: a typo'd knob (PBDS_VERIFY_RESME) must not
+// silently no-op. Called at scheduler init — early enough to precede any
+// knob-dependent behavior the user meant to configure, late enough that
+// tests mutating the environment before first pool touch are seen.
+inline void warn_unknown_pbds_env() {
+#if __has_include(<unistd.h>)
+  if (environ == nullptr) return;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const char* kv = *e;
+    if (std::strncmp(kv, "PBDS_", 5) != 0) continue;
+    const char* eq = std::strchr(kv, '=');
+    std::string name = eq ? std::string(kv, static_cast<std::size_t>(eq - kv))
+                          : std::string(kv);
+    bool known = false;
+    for (const char* k : kKnownEnvKnobs) {
+      if (name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known && first_warning_for(name.c_str())) {
+      std::fprintf(stderr,
+                   "pbds: unrecognized environment variable %s is not a "
+                   "known PBDS_* knob and has no effect (see the knob "
+                   "table in docs/TESTING.md)\n",
+                   name.c_str());
+    }
+  }
+#endif
 }
 
 }  // namespace pbds::detail

@@ -1,0 +1,370 @@
+// Block-granular integrity: digests, verification gates, and the bit-flip
+// corruption injector.
+//
+// The paper's fixed block decomposition gives a natural integrity granule:
+// every blockwise terminal pass materializes whole blocks, so each block's
+// bytes can be digested inline as it completes and re-checked whenever the
+// bytes are *trusted* rather than recomputed — on resume, when a later
+// attempt salvages blocks a failed attempt left behind (recovery/), and in
+// bulk-verification mode, when a memcpy-lowered next_n run must match the
+// element-at-a-time reference protocol (stream/).
+//
+// The digest is a 64-bit xxhash-style mix fed through an incremental
+// `digester`: four independent accumulator lanes consume 32-byte stripes
+// (breaking the multiply-rotate latency chain that makes a single-lane
+// mix ~5 cycles *per word*), and a carry buffer makes the result depend
+// only on the concatenated byte sequence — hashing a contiguous block and
+// hashing the same bytes element-by-element (any chunking) produce the
+// same value. That equivalence is what lets bulk-vs-generic verification
+// compare a streamed element walk against a materialized run, and the
+// lane parallelism is what keeps digest-on-complete under 5% on
+// compute-bearing contiguous kernels (pbdsbench --verify-overhead; pure
+// data-movement kernels on a single core are the ~10% worst case — the
+// digest is one extra cache-hot pass over bytes produced with almost no
+// compute). A digest is never 0: 0 is the side table's "no digest
+// recorded" sentinel.
+//
+// Verification knobs (strict parsing, core/env.hpp):
+//   PBDS_VERIFY_RESUME — default 1; =0 trusts salvaged blocks unverified.
+//   PBDS_VERIFY_BULK   — default 0; =1 double-runs gated bulk drains and
+//                        digest-compares against the element protocol.
+// Both have RAII scoped overrides for tests (not thread-safe to toggle
+// while parallel work is in flight, same contract as scoped_bulk_disable).
+//
+// The bit-flip injector arms corruption of *salvaged* storage: when armed,
+// resumable_result::bind flips bits in completed blocks on the resume
+// path, modeling silent corruption of checkpointed bytes between attempts.
+// Counters let tests and the soak harness assert 100% detection.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/env.hpp"
+
+namespace pbds::integrity {
+
+// --- digest ------------------------------------------------------------------
+
+namespace detail {
+
+inline constexpr std::uint64_t kSeed = 1469598103934665603ull;
+inline constexpr std::uint64_t kM1 = 0x9e3779b185ebca87ull;
+inline constexpr std::uint64_t kM2 = 0xc2b2ae3d27d4eb4full;
+inline constexpr std::uint64_t kM3 = 0x165667b19e3779f9ull;
+
+[[nodiscard]] inline constexpr std::uint64_t rotl64(std::uint64_t x,
+                                                    unsigned r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+}  // namespace detail
+
+// Incremental byte-stream digest. update() may be called with any
+// chunking; the result depends only on the concatenated byte sequence.
+// The hot path consumes 32-byte stripes into four independent lanes (one
+// multiply-rotate per lane per stripe, no cross-lane dependency, so the
+// chains pipeline); a 32-byte carry buffer absorbs unaligned chunk
+// boundaries, and value() folds the lanes, the carry tail, and the total
+// length.
+class digester {
+ public:
+  void update(const void* data, std::size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    total_ += bytes;
+    if (pending_ > 0) {
+      std::size_t take = bytes < 32 - pending_ ? bytes : 32 - pending_;
+      std::memcpy(buf_ + pending_, p, take);
+      pending_ += take;
+      p += take;
+      bytes -= take;
+      if (pending_ == 32) {
+        stripe(buf_);
+        pending_ = 0;
+      }
+    }
+    if (bytes >= 32) {
+      // Run the stripe chains in locals: `p` is an unsigned char* and may
+      // alias *this as far as the compiler knows, so looping on v_[]
+      // directly forces a load+store of every lane per stripe.
+      std::uint64_t a = v_[0], b = v_[1], c = v_[2], d = v_[3];
+      // Two stripes per iteration: eight rounds in flight hide the
+      // add-rot-mul chain latency; the single multiply per word is the
+      // throughput cap (one 64-bit multiplier port on most cores).
+      while (bytes >= 64) {
+        a = detail::rotl64(a + load_word(p), 31) * detail::kM1;
+        b = detail::rotl64(b + load_word(p + 8), 31) * detail::kM1;
+        c = detail::rotl64(c + load_word(p + 16), 31) * detail::kM1;
+        d = detail::rotl64(d + load_word(p + 24), 31) * detail::kM1;
+        a = detail::rotl64(a + load_word(p + 32), 31) * detail::kM1;
+        b = detail::rotl64(b + load_word(p + 40), 31) * detail::kM1;
+        c = detail::rotl64(c + load_word(p + 48), 31) * detail::kM1;
+        d = detail::rotl64(d + load_word(p + 56), 31) * detail::kM1;
+        p += 64;
+        bytes -= 64;
+      }
+      if (bytes >= 32) {
+        a = detail::rotl64(a + load_word(p), 31) * detail::kM1;
+        b = detail::rotl64(b + load_word(p + 8), 31) * detail::kM1;
+        c = detail::rotl64(c + load_word(p + 16), 31) * detail::kM1;
+        d = detail::rotl64(d + load_word(p + 24), 31) * detail::kM1;
+        p += 32;
+        bytes -= 32;
+      }
+      v_[0] = a;
+      v_[1] = b;
+      v_[2] = c;
+      v_[3] = d;
+    }
+    if (bytes > 0) {
+      std::memcpy(buf_ + pending_, p, bytes);
+      pending_ += bytes;
+    }
+  }
+
+  // Finalize without consuming: a digester can keep absorbing after a
+  // value() call (value() is pure over the bytes seen so far).
+  [[nodiscard]] std::uint64_t value() const {
+    using namespace detail;
+    std::uint64_t h;
+    if (total_ > pending_) {  // at least one full stripe was consumed
+      h = rotl64(v_[0], 1) + rotl64(v_[1], 7) + rotl64(v_[2], 12) +
+          rotl64(v_[3], 18);
+      for (std::uint64_t v : v_)
+        h = (h ^ (rotl64(v * kM2, 31) * kM1)) * kM1 + kM3;
+    } else {
+      h = kSeed + kM2;
+    }
+    h ^= total_ * kM1;
+    std::size_t k = 0;
+    for (; k + 8 <= pending_; k += 8)
+      h = rotl64(h ^ (load_word(buf_ + k) * kM2), 27) * kM1;
+    for (; k < pending_; ++k)
+      h = rotl64(h ^ (std::uint64_t{buf_[k]} * kM1), 11) * kM2;
+    h ^= h >> 33;
+    h *= kM2;
+    h ^= h >> 29;
+    h *= kM1;
+    h ^= h >> 32;
+    return h == 0 ? 1 : h;  // 0 is reserved for "no digest recorded"
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t load_word(const unsigned char* p) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    return w;
+  }
+
+  // Carry-buffer stripe (cold path: at most once per update call). Must
+  // compute exactly the same round as the hot loop in update() or the
+  // chunking-invariance contract breaks.
+  void stripe(const unsigned char* p) {
+    for (int i = 0; i < 4; ++i) {
+      v_[i] = detail::rotl64(v_[i] + load_word(p + 8 * i), 31) * detail::kM1;
+    }
+  }
+
+  std::uint64_t v_[4] = {detail::kSeed + detail::kM1 + detail::kM2,
+                         detail::kSeed + detail::kM2, detail::kSeed,
+                         detail::kSeed - detail::kM1};
+  std::uint64_t total_ = 0;
+  unsigned char buf_[32] = {};
+  std::size_t pending_ = 0;
+};
+
+// One-shot digest of a contiguous byte range (never 0).
+[[nodiscard]] inline std::uint64_t block_digest(const void* data,
+                                                std::size_t bytes) {
+  digester d;
+  d.update(data, bytes);
+  return d.value();
+}
+
+// Thrown when verification proves bytes are not what was produced: a bulk
+// drain whose output diverges from the element-at-a-time protocol, or a
+// caller-level integrity check. (Salvage-time mismatches do NOT throw —
+// they quarantine and re-execute; see recovery/checkpoint_ops.hpp.)
+class corruption_detected : public std::runtime_error {
+ public:
+  explicit corruption_detected(const char* what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+// --- verification gates ------------------------------------------------------
+
+namespace detail {
+
+inline bool verify_resume_by_env() {
+  static const bool v =
+      pbds::detail::env_integer("PBDS_VERIFY_RESUME", 0, 1, 1) == 1;
+  return v;
+}
+
+inline bool verify_bulk_by_env() {
+  static const bool v =
+      pbds::detail::env_integer("PBDS_VERIFY_BULK", 0, 1, 0) == 1;
+  return v;
+}
+
+// Overrides: >0 forces on, <0 forces off, 0 follows the env default.
+// Plain ints guarded by the scoped_* constructors' single-threaded
+// contract (same as stream::detail::bulk_flag).
+inline int& verify_resume_override() {
+  static int v = 0;
+  return v;
+}
+inline int& verify_bulk_override() {
+  static int v = 0;
+  return v;
+}
+
+// Force-on counter for resume verification, atomic because the pipeline
+// service arms it per-attempt from concurrent dispatcher threads (the
+// per-class corruption policy retries with verification after a mismatch,
+// regardless of the env opt-out).
+inline std::atomic<int>& verify_resume_force() {
+  static std::atomic<int> v{0};
+  return v;
+}
+
+}  // namespace detail
+
+// True when salvaged blocks must be re-digested before being trusted
+// (and block digests recorded at completion to make that possible).
+[[nodiscard]] inline bool verify_resume_enabled() {
+  if (detail::verify_resume_force().load(std::memory_order_relaxed) > 0)
+    return true;
+  int o = detail::verify_resume_override();
+  if (o != 0) return o > 0;
+  return detail::verify_resume_by_env();
+}
+
+// True when gated bulk drains must be digest-checked against the
+// element-at-a-time protocol.
+[[nodiscard]] inline bool verify_bulk_enabled() {
+  int o = detail::verify_bulk_override();
+  if (o != 0) return o > 0;
+  return detail::verify_bulk_by_env();
+}
+
+namespace detail {
+
+class scoped_verify_override {
+ public:
+  scoped_verify_override(int& slot, bool on) : slot_(slot), saved_(slot) {
+    slot_ = on ? 1 : -1;
+  }
+  ~scoped_verify_override() { slot_ = saved_; }
+  scoped_verify_override(const scoped_verify_override&) = delete;
+  scoped_verify_override& operator=(const scoped_verify_override&) = delete;
+
+ private:
+  int& slot_;
+  int saved_;
+};
+
+}  // namespace detail
+
+class scoped_verify_resume : public detail::scoped_verify_override {
+ public:
+  explicit scoped_verify_resume(bool on)
+      : scoped_verify_override(detail::verify_resume_override(), on) {}
+};
+
+class scoped_verify_bulk : public detail::scoped_verify_override {
+ public:
+  explicit scoped_verify_bulk(bool on)
+      : scoped_verify_override(detail::verify_bulk_override(), on) {}
+};
+
+// Thread-safe force-on for resume verification (nestable; overrides both
+// the env opt-out and scoped_verify_resume(false)).
+class scoped_verify_resume_force {
+ public:
+  scoped_verify_resume_force() {
+    detail::verify_resume_force().fetch_add(1, std::memory_order_relaxed);
+  }
+  ~scoped_verify_resume_force() {
+    detail::verify_resume_force().fetch_sub(1, std::memory_order_relaxed);
+  }
+  scoped_verify_resume_force(const scoped_verify_resume_force&) = delete;
+  scoped_verify_resume_force& operator=(const scoped_verify_resume_force&) =
+      delete;
+};
+
+// --- bit-flip corruption injector --------------------------------------------
+
+// Process-global armable injector: while armed, each resume of a
+// checkpointed result flips one bit in each of up to `flips_per_resume`
+// bytes chosen (seeded splitmix64) from the result's *completed* blocks —
+// the bytes a resume would otherwise silently trust. Delivered flips are
+// counted so harnesses can assert detected == delivered.
+
+namespace detail {
+
+struct bit_flip_state {
+  std::atomic<int> armed{0};
+  std::atomic<std::uint64_t> rng{0};
+  std::atomic<std::size_t> flips_per_resume{1};
+  std::atomic<std::uint64_t> delivered{0};
+};
+
+inline bit_flip_state& bf_state() {
+  static bit_flip_state s;
+  return s;
+}
+
+[[nodiscard]] inline std::uint64_t splitmix64(std::atomic<std::uint64_t>& s) {
+  std::uint64_t z = s.fetch_add(0x9e3779b97f4a7c15ull,
+                                std::memory_order_relaxed) +
+                    0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+[[nodiscard]] inline bool bit_flips_armed() {
+  return detail::bf_state().armed.load(std::memory_order_acquire) != 0;
+}
+
+[[nodiscard]] inline std::size_t bit_flips_per_resume() {
+  return detail::bf_state().flips_per_resume.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t bit_flips_delivered() {
+  return detail::bf_state().delivered.load(std::memory_order_relaxed);
+}
+
+// Draw a pseudo-random value from the armed injector's seeded stream.
+[[nodiscard]] inline std::uint64_t bit_flip_draw() {
+  return detail::splitmix64(detail::bf_state().rng);
+}
+
+// Flip one pseudo-random bit of bytes[0..len): the injection primitive.
+inline void flip_random_bit(unsigned char* bytes, std::size_t len) {
+  if (len == 0) return;
+  std::uint64_t r = bit_flip_draw();
+  bytes[r % len] ^= static_cast<unsigned char>(1u << ((r >> 32) & 7u));
+  detail::bf_state().delivered.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void arm_bit_flips(std::size_t flips_per_resume, std::uint64_t seed) {
+  auto& s = detail::bf_state();
+  s.rng.store(seed, std::memory_order_relaxed);
+  s.flips_per_resume.store(flips_per_resume == 0 ? 1 : flips_per_resume,
+                           std::memory_order_relaxed);
+  s.delivered.store(0, std::memory_order_relaxed);
+  s.armed.fetch_add(1, std::memory_order_release);
+}
+
+inline void disarm_bit_flips() {
+  detail::bf_state().armed.fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace pbds::integrity

@@ -658,6 +658,7 @@ inline scheduler& get_scheduler() {
   if (!slot) {
     std::lock_guard<std::mutex> lock(detail::scheduler_slot_mutex());
     if (!slot) {
+      pbds::detail::warn_unknown_pbds_env();
       slot = std::make_unique<scheduler>(detail::default_num_workers());
       detail::maybe_start_watchdog_from_env();
     }

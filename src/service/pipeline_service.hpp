@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/env.hpp"
+#include "integrity/block_digest.hpp"
 #include "memory/budget.hpp"
 #include "recovery/resumable.hpp"
 #include "sched/cancellation.hpp"
@@ -159,6 +160,8 @@ enum class event : unsigned char {
   resume,   // a retry of a checkpointed job (aux = blocks already complete)
   park,     // drain parked a cancelled resumable job's checkpoint
   readmit,  // a parked checkpoint was resubmitted (aux = blocks salvageable)
+  corrupt,  // corruption detected in an attempt (aux = blocks quarantined,
+            // 0 when the attempt itself threw corruption_detected)
 };
 
 [[nodiscard]] constexpr const char* to_string(event e) noexcept {
@@ -180,6 +183,7 @@ enum class event : unsigned char {
     case event::resume: return "resume";
     case event::park: return "park";
     case event::readmit: return "readmit";
+    case event::corrupt: return "corrupt";
   }
   return "unknown";
 }
@@ -213,6 +217,10 @@ struct service_stats {
   std::uint64_t completed_after_resume = 0; // done on a 2nd+ attempt
   std::uint64_t blocks_salvaged = 0;        // block executions avoided
   std::uint64_t blocks_redone = 0;          // started-incomplete re-runs
+  // Integrity accounting (event::corrupt trail).
+  std::uint64_t corrupt_detected = 0;    // attempts that surfaced corruption
+  std::uint64_t blocks_quarantined = 0;  // salvage digests that mismatched
+  std::uint64_t blocks_reexecuted = 0;   // quarantined blocks re-run to done
 };
 
 // Thunk form of a checkpointed job: receives the job's checkpoint and
@@ -233,6 +241,11 @@ struct job_record {
   job_limits limits;
   std::uint64_t id = 0;
   bool probe = false;  // this admission is the class's half-open probe
+  // Corruption policy state: set on the first mismatch (quarantine or
+  // thrown corruption_detected); later attempts of this job then run with
+  // salvage verification *forced* on, even past a PBDS_VERIFY_RESUME=0
+  // opt-out. Only touched by the executing dispatcher.
+  bool corrupt_seen = false;
 
   // Terminal-state handshake. Lock order: after the service mutex.
   std::mutex m;
@@ -669,10 +682,39 @@ class pipeline_service {
     std::exception_ptr err;
     bool success = false;
     for (int attempt = 0;; ++attempt) {
+      const std::uint64_t q_before =
+          rec->checkpoint ? rec->checkpoint->aggregate().quarantined : 0;
       err = run_attempt(*rec);
+      // Corruption policy, first half: self-healed corruption. A salvage
+      // digest mismatch quarantines and re-executes inside the attempt,
+      // so it surfaces here as a quarantine-count delta, not a failure.
+      // Record it (aux = blocks quarantined) and arm retry-with-
+      // verification for the rest of this job's attempts.
+      if (rec->checkpoint) {
+        const std::uint64_t dq =
+            rec->checkpoint->aggregate().quarantined - q_before;
+        if (dq > 0) {
+          rec->corrupt_seen = true;
+          std::lock_guard<std::mutex> lock(mutex_);
+          record(event::corrupt, rec->job_class,
+                 static_cast<std::uint32_t>(dq));
+          ++stats_.corrupt_detected;
+        }
+      }
       if (!err) {
         success = true;
         break;
+      }
+      // Second half: corruption the attempt could not repair in place
+      // (bulk-vs-element divergence, a job-level integrity check). It is
+      // retryable — with verification forced — but unlike budget/stall it
+      // also marks the attempt corrupt, and an exhausted ladder fails the
+      // job, which the breaker counts like any other class failure.
+      if (is_corruption(err)) {
+        rec->corrupt_seen = true;
+        std::lock_guard<std::mutex> lock(mutex_);
+        record(event::corrupt, rec->job_class);
+        ++stats_.corrupt_detected;
       }
       if (!retryable(err) || attempt >= lim.max_retries) break;
       {
@@ -715,6 +757,10 @@ class pipeline_service {
   // unwinding (nested joins bail and return) is still surfaced here by
   // the rethrow_first after the thunk returns.
   std::exception_ptr run_attempt(detail::job_record& rec) {
+    // Retry-with-verification: once a job has seen corruption, all its
+    // later attempts verify salvaged blocks regardless of the env opt-out.
+    std::optional<integrity::scoped_verify_resume_force> verify;
+    if (rec.corrupt_seen) verify.emplace();
     std::optional<memory::budget_scope> budget;
     if (rec.limits.budget_bytes > 0) budget.emplace(rec.limits.budget_bytes);
     std::optional<sched::region_deadline> deadline;
@@ -775,6 +821,18 @@ class pipeline_service {
       return true;
     } catch (const stall_detected&) {
       return true;
+    } catch (const integrity::corruption_detected&) {
+      return true;  // retry-with-verification (see execute)
+    } catch (...) {
+      return false;
+    }
+  }
+
+  [[nodiscard]] static bool is_corruption(const std::exception_ptr& err) {
+    try {
+      std::rethrow_exception(err);
+    } catch (const integrity::corruption_detected&) {
+      return true;
     } catch (...) {
       return false;
     }
@@ -804,6 +862,8 @@ class pipeline_service {
           auto p = rec->checkpoint->aggregate();
           stats_.blocks_salvaged += p.salvaged;
           stats_.blocks_redone += p.redone;
+          stats_.blocks_quarantined += p.quarantined;
+          stats_.blocks_reexecuted += p.reexecuted;
           if (rec->checkpoint->attempts() > 1 || rec->readmitted)
             ++stats_.completed_after_resume;
         }

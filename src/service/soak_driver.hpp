@@ -24,6 +24,7 @@
 
 #include "array/parray.hpp"
 #include "core/delayed.hpp"
+#include "integrity/block_digest.hpp"
 #include "recovery/checkpoint_ops.hpp"
 #include "service/pipeline_service.hpp"
 
@@ -39,6 +40,10 @@ struct soak_config {
   long job_deadline_ms = 0;           // per-attempt deadline (0 = none)
   long drain_deadline_ms = -1;        // -1 = drain the full backlog
   bool resumable = false;  // submit checkpointed jobs (block-granular resume)
+  // Arm the integrity bit-flip injector for the run: every resume flips
+  // bits in this many bytes of the job's completed blocks (0 = off).
+  // Implies per-job result verification against the per-class oracle.
+  std::size_t bit_flips = 0;
   service_config service;
 };
 
@@ -51,6 +56,11 @@ struct soak_result {
   double p99_ms = 0;
   std::uint64_t trace_hash = 0;
   std::uint64_t checksum = 0;  // xor of completed pipelines' results
+  // Oracle accounting when bit_flips > 0: every completed job's result is
+  // compared against the deterministic per-class expected value, so any
+  // corruption the digest layer failed to catch shows up here.
+  std::uint64_t result_mismatches = 0;  // undetected corruption (must be 0)
+  std::uint64_t bit_flips_delivered = 0;
 };
 
 // The four job classes, each a different shape of delayed pipeline (same
@@ -166,8 +176,17 @@ inline soak_result run_soak(soak_config cfg) {
   // A closed loop needs someone to run the jobs the producers wait on;
   // manual mode would deadlock them.
   if (cfg.service.dispatchers == 0) cfg.service.dispatchers = 2;
+  // Per-class oracle: each pipeline's result depends only on (class, n),
+  // so one clean evaluation per class is the ground truth every completed
+  // job is checked against when the bit-flip injector is armed.
+  std::uint64_t expected[4] = {0, 0, 0, 0};
+  if (cfg.bit_flips > 0) {
+    for (unsigned c = 0; c < 4; ++c) expected[c] = soak_pipeline(c, cfg.n);
+    integrity::arm_bit_flips(cfg.bit_flips, cfg.seed);
+  }
   pipeline_service svc(cfg.service);
   std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> mismatches{0};
   std::mutex lat_mutex;
   std::vector<double> latencies_ms;
 
@@ -197,25 +216,31 @@ inline soak_result run_soak(soak_config cfg) {
         try {
           const std::size_t n = cfg.n;
           job_ticket ticket;
+          const bool check = cfg.bit_flips > 0;
+          const std::uint64_t want = expected[cls];
           if (cfg.resumable) {
             ticket = svc.submit_resumable(
                 cls,
-                [cls, n, poisoned,
-                 &checksum](recovery::job_checkpoint& ck) {
+                [cls, n, poisoned, check, want, &checksum,
+                 &mismatches](recovery::job_checkpoint& ck) {
                   if (poisoned)
                     throw std::runtime_error("soak: poisoned job class");
-                  checksum.fetch_xor(soak_pipeline_resumable(cls, n, ck),
-                                     std::memory_order_relaxed);
+                  std::uint64_t got = soak_pipeline_resumable(cls, n, ck);
+                  if (check && got != want)
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                  checksum.fetch_xor(got, std::memory_order_relaxed);
                 },
                 lim);
           } else {
             ticket = svc.submit(
                 cls,
-                [cls, n, poisoned, &checksum] {
+                [cls, n, poisoned, check, want, &checksum, &mismatches] {
                   if (poisoned)
                     throw std::runtime_error("soak: poisoned job class");
-                  checksum.fetch_xor(soak_pipeline(cls, n),
-                                     std::memory_order_relaxed);
+                  std::uint64_t got = soak_pipeline(cls, n);
+                  if (check && got != want)
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                  checksum.fetch_xor(got, std::memory_order_relaxed);
                 },
                 lim);
           }
@@ -240,6 +265,11 @@ inline soak_result run_soak(soak_config cfg) {
                              .count();
 
   soak_result r;
+  if (cfg.bit_flips > 0) {
+    r.bit_flips_delivered = integrity::bit_flips_delivered();
+    integrity::disarm_bit_flips();
+  }
+  r.result_mismatches = mismatches.load(std::memory_order_relaxed);
   r.stats = svc.stats();
   r.trace_hash = svc.trace_hash();
   r.checksum = checksum.load(std::memory_order_relaxed);

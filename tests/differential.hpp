@@ -307,6 +307,30 @@ inline void expect_seed_replay(const diff_case& c,
   }
 }
 
+// --- silent-corruption injector (PR 8) --------------------------------------
+
+// Arms the integrity bit-flip injector for a scope: every resumable_result
+// resume flips `flips_per_resume` random bits inside completed blocks of
+// the salvaged storage, simulating silent corruption between the failed
+// attempt and the retry. `delivered()` reports how many flips actually
+// landed (zero when no resume touched trivially-copyable storage), so a
+// test can assert its corruption sweep was non-vacuous.
+class scoped_bit_flip {
+ public:
+  explicit scoped_bit_flip(std::size_t flips_per_resume,
+                           std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // arm_bit_flips zeroes the delivered counter, so delivered() counts
+    // from this arming.
+    integrity::arm_bit_flips(flips_per_resume, seed);
+  }
+  ~scoped_bit_flip() { integrity::disarm_bit_flips(); }
+  scoped_bit_flip(const scoped_bit_flip&) = delete;
+  scoped_bit_flip& operator=(const scoped_bit_flip&) = delete;
+
+  // Flips delivered since this injector was armed.
+  std::uint64_t delivered() const { return integrity::bit_flips_delivered(); }
+};
+
 // --- resume oracle (PR 7) ---------------------------------------------------
 
 // One recovery case: a pipeline whose terminal passes run through the
