@@ -69,6 +69,10 @@ int main(int argc, char** argv) {
       cfg.bit_flips = static_cast<std::size_t>(bd::parse_long_arg(
           "--bit-flip", bd::require_value("--bit-flip", i, argc, argv), 1,
           1 << 20));
+    } else if (is("--worker-kill")) {
+      cfg.worker_kills = static_cast<std::size_t>(bd::parse_long_arg(
+          "--worker-kill", bd::require_value("--worker-kill", i, argc, argv),
+          1, 1 << 20));
     } else if (is("--json")) {
       json_path = bd::require_value("--json", i, argc, argv);
     } else if (is("--help") || is("-h")) {
@@ -76,13 +80,18 @@ int main(int argc, char** argv) {
           "usage: %s [--producers P] [--jobs J] [-n SIZE] [--seed S]\n"
           "          [--poison CLASS] [--budget BYTES] [--deadline-ms MS]\n"
           "          [--queue-cap Q] [--policy 0|1|2] [--dispatchers D]\n"
-          "          [--resumable] [--bit-flip N] [--json PATH]\n"
+          "          [--resumable] [--bit-flip N] [--worker-kill N]\n"
+          "          [--json PATH]\n"
           "policy: 0 = block, 1 = reject, 2 = shed_oldest\n"
           "--resumable: submit checkpointed jobs; retries resume at block\n"
           "             granularity instead of restarting\n"
           "--bit-flip N: arm the integrity injector — every resume flips\n"
           "             bits in N bytes of completed blocks; completed jobs\n"
-          "             are checked against the per-class oracle\n",
+          "             are checked against the per-class oracle\n"
+          "--worker-kill N: deliver N injected worker deaths during the\n"
+          "             run; a fast watchdog detects each loss, reclaims\n"
+          "             the dead worker's queue, and repairs the pool;\n"
+          "             completed jobs are checked against the oracle\n",
           argv[0]);
       return 0;
     } else {
@@ -129,6 +138,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.blocks_reexecuted),
         static_cast<unsigned long long>(r.result_mismatches));
   }
+  if (cfg.worker_kills > 0) {
+    std::printf(
+        "  worker-loss: %llu kills delivered, %llu workers lost, "
+        "%llu repairs, %llu worker-lost events, %llu result mismatches\n",
+        static_cast<unsigned long long>(r.worker_kills_delivered),
+        static_cast<unsigned long long>(r.workers_lost),
+        static_cast<unsigned long long>(r.repairs),
+        static_cast<unsigned long long>(r.stats.worker_lost_seen),
+        static_cast<unsigned long long>(r.result_mismatches));
+  }
 
   if (!json_path.empty()) {
     using pbds::bench_common::json_report;
@@ -173,7 +192,15 @@ int main(int argc, char** argv) {
                  {"bit_flips_delivered",
                   static_cast<double>(r.bit_flips_delivered)},
                  {"result_mismatches",
-                  static_cast<double>(r.result_mismatches)}}});
+                  static_cast<double>(r.result_mismatches)},
+                 {"worker_kills_delivered",
+                  static_cast<double>(r.worker_kills_delivered)},
+                 {"workers_lost", static_cast<double>(r.workers_lost)},
+                 {"repairs", static_cast<double>(r.repairs)},
+                 {"worker_lost_seen",
+                  static_cast<double>(r.stats.worker_lost_seen)},
+                 {"repairs_observed",
+                  static_cast<double>(r.stats.repairs_observed)}}});
     if (!report.ok()) {
       std::fprintf(stderr, "service-soak: report not persisted: %s\n",
                    report.last_error().c_str());

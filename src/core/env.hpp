@@ -76,10 +76,13 @@ inline constexpr const char* kKnownEnvKnobs[] = {
     "PBDS_SERVICE_RETRIES",
     "PBDS_SERVICE_BACKOFF_US",
     "PBDS_SERVICE_TRACE_CAP",
+    "PBDS_SERVICE_RESUMABLE",
     "PBDS_RESUME_DISABLE",
     "PBDS_RESUME_MAX_PARKED",
     "PBDS_VERIFY_RESUME",
     "PBDS_VERIFY_BULK",
+    "PBDS_WORKER_LOST_MS",
+    "PBDS_REPAIR_MAX",
 };
 
 // Warn once per process about PBDS_-prefixed environment variables that

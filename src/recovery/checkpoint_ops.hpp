@@ -131,6 +131,9 @@ decltype(auto) with_progress(resumable_result<T>& rr, const F& f) {
     } catch (stall_detected& e) {
       e.attach_progress(rr.snapshot());
       throw;
+    } catch (worker_lost& e) {
+      e.attach_progress(rr.snapshot());
+      throw;
     }
   };
   if (memory::budget_active()) return memory::budget_retry(annotated);

@@ -162,6 +162,9 @@ enum class event : unsigned char {
   readmit,  // a parked checkpoint was resubmitted (aux = blocks salvageable)
   corrupt,  // corruption detected in an attempt (aux = blocks quarantined,
             // 0 when the attempt itself threw corruption_detected)
+  worker_lost,  // an attempt died because the pool lost a worker (aux =
+                // blocks already complete for checkpointed jobs, else 0)
+  repair,       // pool repairs observed since the last sample (aux = count)
 };
 
 [[nodiscard]] constexpr const char* to_string(event e) noexcept {
@@ -184,6 +187,8 @@ enum class event : unsigned char {
     case event::park: return "park";
     case event::readmit: return "readmit";
     case event::corrupt: return "corrupt";
+    case event::worker_lost: return "worker_lost";
+    case event::repair: return "repair";
   }
   return "unknown";
 }
@@ -221,6 +226,9 @@ struct service_stats {
   std::uint64_t corrupt_detected = 0;    // attempts that surfaced corruption
   std::uint64_t blocks_quarantined = 0;  // salvage digests that mismatched
   std::uint64_t blocks_reexecuted = 0;   // quarantined blocks re-run to done
+  // Worker-loss accounting (event::worker_lost / event::repair trail).
+  std::uint64_t worker_lost_seen = 0;  // attempts that died to a lost worker
+  std::uint64_t repairs_observed = 0;  // pool repairs folded into the trace
 };
 
 // Thunk form of a checkpointed job: receives the job's checkpoint and
@@ -310,6 +318,12 @@ class pipeline_service {
  public:
   explicit pipeline_service(service_config cfg = {})
       : cfg_(cfg), queue_(cfg.queue_capacity) {
+    // Repairs that predate this service belong to nobody's trace.
+    {
+      std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+      if (auto& slot = sched::detail::global_slot())
+        repairs_seen_ = slot->repairs();
+    }
     if (cfg_.dispatchers > 0) {
       // Touch the pool from the owner thread first: get_scheduler()
       // enrolls the *first* caller as worker 0, and that must not be a
@@ -524,6 +538,7 @@ class pipeline_service {
     sched::quiesce();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      note_repairs_locked();  // repairs during the drain window
       record(event::drain_end, 0);
       drained_ = true;
     }
@@ -716,6 +731,22 @@ class pipeline_service {
         record(event::corrupt, rec->job_class);
         ++stats_.corrupt_detected;
       }
+      // Worker loss is an executor fault, not a job fault: the pool lost a
+      // thread mid-attempt, loss reclamation cancelled the region, and by
+      // now (or within a watchdog interval) repair() has respawned the
+      // slot. Record the loss — aux carries the checkpointed progress the
+      // retry will salvage — then fold any pool repairs into the trace so
+      // identical (kill seed, pipeline) runs fingerprint identically.
+      if (is_worker_lost(err)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        record(event::worker_lost, rec->job_class,
+               rec->checkpoint
+                   ? static_cast<std::uint32_t>(
+                         rec->checkpoint->aggregate().blocks_complete)
+                   : 0);
+        ++stats_.worker_lost_seen;
+      }
+      note_repairs();
       if (!retryable(err) || attempt >= lim.max_retries) break;
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -823,9 +854,44 @@ class pipeline_service {
       return true;
     } catch (const integrity::corruption_detected&) {
       return true;  // retry-with-verification (see execute)
+    } catch (const worker_lost&) {
+      return true;  // transient executor fault; the pool self-repairs
     } catch (...) {
       return false;
     }
+  }
+
+  [[nodiscard]] static bool is_worker_lost(const std::exception_ptr& err) {
+    try {
+      std::rethrow_exception(err);
+    } catch (const worker_lost&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  // Fold the pool's repair counter into the trace: any repairs since the
+  // last sample become one event::repair with aux = the delta. Sampled
+  // after every attempt and at drain_end, under the service mutex, so the
+  // delta is claimed exactly once however many jobs observed it.
+  void note_repairs_locked() {
+    std::uint64_t now = 0;
+    {
+      std::lock_guard<std::mutex> slot_lock(sched::detail::scheduler_slot_mutex());
+      if (auto& slot = sched::detail::global_slot()) now = slot->repairs();
+    }
+    if (now > repairs_seen_) {
+      const std::uint64_t delta = now - repairs_seen_;
+      repairs_seen_ = now;
+      record(event::repair, 0, static_cast<std::uint32_t>(delta));
+      stats_.repairs_observed += delta;
+    }
+  }
+
+  void note_repairs() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    note_repairs_locked();
   }
 
   [[nodiscard]] static bool is_corruption(const std::exception_ptr& err) {
@@ -916,6 +982,7 @@ class pipeline_service {
   service_stats stats_;
   std::vector<std::thread> dispatchers_;
   std::uint64_t next_job_id_ = 0;
+  std::uint64_t repairs_seen_ = 0;  // pool repairs already folded into trace
   std::size_t running_ = 0;
   bool draining_ = false;
   bool drained_ = false;

@@ -44,6 +44,12 @@ struct soak_config {
   // bits in this many bytes of the job's completed blocks (0 = off).
   // Implies per-job result verification against the per-class oracle.
   std::size_t bit_flips = 0;
+  // Deliver this many injected worker deaths over the run (0 = off): a
+  // monitor thread arms seed-derived (victim, boundary) kills one at a
+  // time, waiting for each delivery, while a fast watchdog with loss
+  // detection declares/reclaims/repairs. Implies per-class oracle
+  // verification — every kill is survived bit-identically or reported.
+  std::size_t worker_kills = 0;
   service_config service;
 };
 
@@ -61,6 +67,10 @@ struct soak_result {
   // corruption the digest layer failed to catch shows up here.
   std::uint64_t result_mismatches = 0;  // undetected corruption (must be 0)
   std::uint64_t bit_flips_delivered = 0;
+  // Worker-loss accounting when worker_kills > 0 (deltas over this run).
+  std::uint64_t worker_kills_delivered = 0;
+  std::uint64_t workers_lost = 0;  // kills detected (must equal delivered)
+  std::uint64_t repairs = 0;       // slots respawned by repair()
 };
 
 // The four job classes, each a different shape of delayed pipeline (same
@@ -178,17 +188,77 @@ inline soak_result run_soak(soak_config cfg) {
   if (cfg.service.dispatchers == 0) cfg.service.dispatchers = 2;
   // Per-class oracle: each pipeline's result depends only on (class, n),
   // so one clean evaluation per class is the ground truth every completed
-  // job is checked against when the bit-flip injector is armed.
+  // job is checked against when a fault injector (bit flips or worker
+  // kills) is armed.
   std::uint64_t expected[4] = {0, 0, 0, 0};
-  if (cfg.bit_flips > 0) {
+  const bool check = cfg.bit_flips > 0 || cfg.worker_kills > 0;
+  if (check)
     for (unsigned c = 0; c < 4; ++c) expected[c] = soak_pipeline(c, cfg.n);
-    integrity::arm_bit_flips(cfg.bit_flips, cfg.seed);
+  if (cfg.bit_flips > 0) integrity::arm_bit_flips(cfg.bit_flips, cfg.seed);
+
+  // Worker-kill chaos needs a loss-detecting monitor or reclamation never
+  // happens and every stranded join hangs. Install a fast one for the run
+  // (warn/cancel 0: no stagnation actions, just deadlines + loss passes).
+  std::uint64_t kills0 = 0, lost0 = 0, repairs0 = 0;
+  if (cfg.worker_kills > 0) {
+    kills0 = sched::worker_kills_delivered();
+    {
+      std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+      if (auto& slot = sched::detail::global_slot()) {
+        lost0 = slot->workers_lost();
+        repairs0 = slot->repairs();
+      }
+    }
+    sched::watchdog_config wcfg;
+    wcfg.period_ms = 2;
+    wcfg.warn_intervals = 0;
+    wcfg.cancel_intervals = 0;
+    // Injected deaths publish `exited` and are detected on the next
+    // 2ms sample regardless of this threshold; keep the heartbeat-age
+    // fallback generous so an oversubscribed runner's preempted (but
+    // live) workers are not declared lost wholesale.
+    wcfg.worker_lost_ms = 200;
+    sched::start_watchdog(wcfg);
   }
   pipeline_service svc(cfg.service);
   std::atomic<std::uint64_t> checksum{0};
   std::atomic<std::uint64_t> mismatches{0};
   std::mutex lat_mutex;
   std::vector<double> latencies_ms;
+
+  // The killer arms seed-derived (victim, boundary) deaths one at a time,
+  // waiting for each delivery before re-arming so exactly one kill is in
+  // flight. An idle pool can't reach a boundary, so each arm has a bounded
+  // wait and is retried with the next seed; the thread stops once the
+  // quota is delivered or the producers finish.
+  std::atomic<bool> killer_stop{false};
+  std::thread killer;
+  if (cfg.worker_kills > 0) {
+    killer = std::thread([&cfg, &killer_stop] {
+      std::uint64_t state = cfg.seed ^ 0xda3e39cb94b95bdbull;
+      std::size_t delivered = 0;
+      while (delivered < cfg.worker_kills &&
+             !killer_stop.load(std::memory_order_acquire)) {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        const std::uint64_t base = sched::worker_kills_delivered();
+        sched::arm_worker_kill(z, static_cast<long>(z % 257));
+        for (int spin = 0; spin < 2000; ++spin) {
+          if (sched::worker_kills_delivered() > base) break;
+          if (killer_stop.load(std::memory_order_acquire)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (sched::worker_kills_delivered() > base)
+          ++delivered;
+        else
+          sched::disarm_worker_kill();
+      }
+      sched::disarm_worker_kill();
+    });
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> producers;
@@ -216,7 +286,6 @@ inline soak_result run_soak(soak_config cfg) {
         try {
           const std::size_t n = cfg.n;
           job_ticket ticket;
-          const bool check = cfg.bit_flips > 0;
           const std::uint64_t want = expected[cls];
           if (cfg.resumable) {
             ticket = svc.submit_resumable(
@@ -259,7 +328,33 @@ inline soak_result run_soak(soak_config cfg) {
     });
   }
   for (auto& t : producers) t.join();
+  if (cfg.worker_kills > 0) {
+    killer_stop.store(true, std::memory_order_release);
+    if (killer.joinable()) killer.join();
+  }
   svc.drain(cfg.drain_deadline_ms);
+  if (cfg.worker_kills > 0) {
+    // Let the watchdog declare every delivered kill and finish any
+    // in-flight repair so the pool hands back at full strength (bounded:
+    // retirement also counts as settled).
+    const std::uint64_t killed = sched::worker_kills_delivered() - kills0;
+    const auto settle =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    for (;;) {
+      bool settled = false;
+      {
+        std::lock_guard<std::mutex> lock(
+            sched::detail::scheduler_slot_mutex());
+        if (auto& slot = sched::detail::global_slot())
+          settled = slot->workers_lost() - lost0 >= killed &&
+                    slot->lost_pending_repair() == 0;
+        else
+          settled = true;
+      }
+      if (settled || std::chrono::steady_clock::now() >= settle) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   const double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
@@ -268,6 +363,14 @@ inline soak_result run_soak(soak_config cfg) {
   if (cfg.bit_flips > 0) {
     r.bit_flips_delivered = integrity::bit_flips_delivered();
     integrity::disarm_bit_flips();
+  }
+  if (cfg.worker_kills > 0) {
+    r.worker_kills_delivered = sched::worker_kills_delivered() - kills0;
+    std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+    if (auto& slot = sched::detail::global_slot()) {
+      r.workers_lost = slot->workers_lost() - lost0;
+      r.repairs = slot->repairs() - repairs0;
+    }
   }
   r.result_mismatches = mismatches.load(std::memory_order_relaxed);
   r.stats = svc.stats();

@@ -8,7 +8,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "array/parray.hpp"
 #include "memory/tracking.hpp"
@@ -73,6 +75,75 @@ TEST(PoolLongevity, DeterministicPoolSurvivesAcrossSeeds) {
     pbds::sched::scoped_deterministic det(seed, 4);
     run_rounds(64, 1 << 10);
   }
+}
+
+// Thousands of kill→repair→run cycles against ONE pool instance: slots
+// are recycled in place (fixed deque/stat vectors), so neither worker
+// count, nor live bytes, nor wall-clock may drift. Detection here is
+// synchronous — the injected death publishes `exited`, so a manual
+// detect/repair pass is deterministic and needs no watchdog.
+TEST(PoolLongevity, ThousandsOfKillRepairCyclesKeepPoolIntact) {
+  namespace sd = pbds::sched::detail;
+  unsigned before = pbds::sched::num_workers();
+  pbds::sched::set_num_workers(4);
+  ASSERT_EQ(pbds::sched::num_workers(), 4u);
+
+  constexpr std::size_t kN = 1 << 10;
+  const std::uint64_t want = static_cast<std::uint64_t>(kN) * (kN - 1) / 2;
+  const std::int64_t baseline = pbds::memory::bytes_live();
+
+  auto one_cycle = [&](int r) {
+    const std::uint64_t kills0 = pbds::sched::worker_kills_delivered();
+    pbds::sched::arm_worker_kill(static_cast<std::uint64_t>(r) * 2654435761u,
+                                 0);
+    // Idle workers pass the heartbeat boundary constantly; the victim
+    // dies within microseconds.
+    while (pbds::sched::worker_kills_delivered() == kills0)
+      std::this_thread::yield();
+    // Declare (the exited flag makes this deterministic) and repair.
+    unsigned newly = 0;
+    for (int spin = 0; spin < 1000000 && newly == 0; ++spin) {
+      std::lock_guard<std::mutex> lock(sd::scheduler_slot_mutex());
+      newly = sd::global_slot()->detect_and_reclaim_lost(10000);
+      if (newly == 0) std::this_thread::yield();
+    }
+    ASSERT_EQ(newly, 1u) << "round " << r;
+    {
+      std::lock_guard<std::mutex> lock(sd::scheduler_slot_mutex());
+      ASSERT_EQ(sd::global_slot()->repair(), 1u) << "round " << r;
+    }
+    EXPECT_EQ(succeeding_region(kN), want) << "round " << r;
+    ASSERT_EQ(pbds::sched::num_workers(), 4u) << "round " << r;
+  };
+
+  auto timed_cycles = [&](int first, int count) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = first; r < first + count; ++r) one_cycle(r);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  const double first_half = timed_cycles(0, 1000);
+  const double second_half = timed_cycles(1000, 1000);
+
+  pbds::sched::quiesce();
+  EXPECT_EQ(pbds::memory::bytes_live(), baseline);
+  EXPECT_EQ(pbds::sched::num_workers(), 4u);
+  {
+    std::lock_guard<std::mutex> lock(sd::scheduler_slot_mutex());
+    auto& slot = sd::global_slot();
+    EXPECT_EQ(slot->workers_lost(), 2000u);
+    EXPECT_EQ(slot->repairs(), 2000u);
+    EXPECT_EQ(slot->retired_workers(), 0u);  // never degraded, only repaired
+    EXPECT_EQ(slot->lost_pending_repair(), 0u);
+  }
+  // Wall-clock stays stable: cycle 2000 must cost what cycle 1 did (loose
+  // 4x + 100ms bound for loaded CI).
+  EXPECT_LT(second_half, 4.0 * first_half + 0.1)
+      << "first=" << first_half << "s second=" << second_half << "s";
+
+  pbds::sched::disarm_worker_kill();
+  pbds::sched::set_num_workers(before);
 }
 
 TEST(PoolLongevity, RealPoolKeepsWorkersAndSpeedOverThousandsOfRounds) {

@@ -1,0 +1,471 @@
+// Worker-loss tolerance: deterministic kill-at-every-boundary sweeps,
+// real-pool loss detection / reclamation / repair, bounded quiesce, and
+// service-level trace replay under injected worker deaths.
+//
+// The deterministic sweep is the exhaustive half: for each seed, an
+// unarmed run counts the pipeline's kill boundaries, then every boundary
+// is killed in turn and the run must either complete with the correct
+// result (the kill slid past must-complete regions and never fired) or
+// throw pbds::worker_lost — never hang, never return a wrong value. The
+// real-pool tests cover the concurrent half: an injected death is
+// detected, its stranded claimed job reclaimed (waking any hung joiner),
+// and the slot repaired, restoring the pool to full strength. Hangs are
+// converted to failures by the ctest timeout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "array/parray.hpp"
+#include "core/block.hpp"
+#include "core/delayed.hpp"
+#include "memory/tracking.hpp"
+#include "recovery/checkpoint_ops.hpp"
+#include "sched/deterministic.hpp"
+#include "sched/parallel.hpp"
+#include "sched/scheduler.hpp"
+#include "service/pipeline_service.hpp"
+
+namespace {
+
+namespace delayed = pbds::delayed;
+namespace recovery = pbds::recovery;
+namespace sched = pbds::sched;
+
+std::uint64_t plus(std::uint64_t a, std::uint64_t b) { return a + b; }
+
+// A small but structurally rich pipeline: tabulate (must-complete
+// placeholder construction) feeding a delayed reduce (cancellable fork
+// tree) — both boundary populations are present in every run.
+std::uint64_t det_workload(std::size_t n) {
+  auto a = pbds::parray<std::uint64_t>::tabulate(
+      n, [](std::size_t i) { return static_cast<std::uint64_t>(i) * 3u; });
+  auto doubled = delayed::map([](std::uint64_t v) { return v * 2; },
+                              delayed::view(a));
+  return delayed::reduce(plus, std::uint64_t{0}, doubled);
+}
+
+// --- deterministic sweep ----------------------------------------------------
+
+TEST(DetWorkerLoss, KillAtEveryBoundarySweepAcrossSeeds) {
+  constexpr std::size_t kN = 1 << 13;
+  // Small blocks ⇒ the reduce fork tree is deep enough that cancellable
+  // boundaries dominate and most nth values actually deliver a kill.
+  pbds::scoped_block_size bs(256);
+  std::uint64_t kills_delivered_total = 0;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    std::uint64_t golden = 0;
+    std::size_t boundaries = 0;
+    {
+      sched::scoped_deterministic det(seed, 4);
+      golden = det_workload(kN);
+      boundaries = det.scheduler().num_kill_boundaries();
+    }
+    ASSERT_GT(boundaries, 0u) << "seed " << seed;
+    for (std::size_t nth = 0; nth < boundaries; ++nth) {
+      sched::scoped_deterministic det(seed, 4);
+      det.scheduler().arm_worker_kill(seed, static_cast<long>(nth));
+      bool threw = false;
+      std::uint64_t got = 0;
+      try {
+        got = det_workload(kN);
+      } catch (const pbds::worker_lost&) {
+        threw = true;
+      }
+      if (det.scheduler().worker_kills_delivered() > 0) {
+        ++kills_delivered_total;
+        // A delivered kill must surface at the root join — the region
+        // cancelled, not wedged, not silently wrong.
+        EXPECT_TRUE(threw) << "seed " << seed << " nth " << nth;
+      } else {
+        // The kill slid past every remaining (must-complete) boundary
+        // and never fired: the run is indistinguishable from clean.
+        EXPECT_FALSE(threw) << "seed " << seed << " nth " << nth;
+        EXPECT_EQ(got, golden) << "seed " << seed << " nth " << nth;
+      }
+    }
+  }
+  // The sweep must exercise the loss path, not just slide past it.
+  EXPECT_GT(kills_delivered_total, 0u);
+}
+
+TEST(DetWorkerLoss, TraceReplaysFromSeedPair) {
+  constexpr std::size_t kN = 1 << 10;
+  pbds::scoped_block_size bs(256);
+  auto run = [&](std::uint64_t seed, long nth) {
+    sched::scoped_deterministic det(seed, 4);
+    det.scheduler().arm_worker_kill(seed, nth);
+    bool threw = false;
+    try {
+      (void)det_workload(kN);
+    } catch (const pbds::worker_lost&) {
+      threw = true;
+    }
+    return std::tuple(det.scheduler().trace(), det.scheduler().trace_hash(),
+                      det.scheduler().worker_kills_delivered(), threw);
+  };
+  for (std::uint64_t seed : {3ull, 11ull, 29ull}) {
+    auto [trace_a, hash_a, kills_a, threw_a] = run(seed, 5);
+    auto [trace_b, hash_b, kills_b, threw_b] = run(seed, 5);
+    EXPECT_EQ(trace_a, trace_b) << "seed " << seed;
+    EXPECT_EQ(hash_a, hash_b) << "seed " << seed;
+    EXPECT_EQ(kills_a, kills_b) << "seed " << seed;
+    EXPECT_EQ(threw_a, threw_b) << "seed " << seed;
+    if (kills_a > 0) {
+      std::size_t kill_events = 0;
+      for (auto e : trace_a)
+        if (e == sched::det_scheduler::event::worker_kill) ++kill_events;
+      EXPECT_EQ(kill_events, 1u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DetWorkerLoss, CheckpointedRetrySalvagesCompletedBlocks) {
+  constexpr std::size_t kN = 1 << 12;
+  constexpr std::size_t kBlk = 1 << 8;
+  // Find a (seed, nth) where the kill lands after some blocks completed:
+  // the thrown worker_lost then carries a non-empty ledger snapshot and
+  // the retry salvages instead of restarting.
+  bool exercised = false;
+  for (std::uint64_t seed = 0; seed < 8 && !exercised; ++seed) {
+    std::size_t boundaries = 0;
+    {
+      sched::scoped_deterministic det(seed, 4);
+      pbds::scoped_block_size bs(kBlk);
+      recovery::job_checkpoint warmup;
+      (void)recovery::reduce(plus, std::uint64_t{0},
+                             delayed::tabulate(kN,
+                                               [](std::size_t i) {
+                                                 return static_cast<
+                                                     std::uint64_t>(i);
+                                               }),
+                             warmup.slot<std::uint64_t>(0));
+      boundaries = det.scheduler().num_kill_boundaries();
+    }
+    for (std::size_t nth = boundaries / 4; nth < boundaries; ++nth) {
+      recovery::job_checkpoint ck;
+      auto xs = delayed::tabulate(
+          kN, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+      std::uint64_t at_throw = 0;
+      bool threw = false;
+      {
+        sched::scoped_deterministic det(seed, 4);
+        pbds::scoped_block_size bs(kBlk);
+        det.scheduler().arm_worker_kill(seed, static_cast<long>(nth));
+        try {
+          (void)recovery::reduce(plus, std::uint64_t{0}, xs,
+                                 ck.slot<std::uint64_t>(0));
+        } catch (const pbds::worker_lost& e) {
+          threw = true;
+          ASSERT_TRUE(e.has_progress());
+          at_throw = e.checkpoint_progress().blocks_complete;
+          EXPECT_EQ(at_throw, ck.aggregate().blocks_complete);
+        }
+      }
+      if (!threw || at_throw == 0) continue;
+      exercised = true;
+      // Retry against the same checkpoint: completed blocks salvage, the
+      // rest redo, and the result is bit-identical to a clean run.
+      std::uint64_t got = 0;
+      {
+        sched::scoped_deterministic det(seed, 4);
+        pbds::scoped_block_size bs(kBlk);
+        got = recovery::reduce(plus, std::uint64_t{0}, xs,
+                               ck.slot<std::uint64_t>(0));
+      }
+      EXPECT_EQ(got, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+      EXPECT_EQ(ck.aggregate().blocks_complete, kN / kBlk);
+      EXPECT_GE(ck.aggregate().salvaged, at_throw);
+      break;
+    }
+  }
+  ASSERT_TRUE(exercised)
+      << "no (seed, nth) produced a mid-run kill with completed blocks";
+}
+
+// --- real pool --------------------------------------------------------------
+
+// Drive detection until `min_lost` slots have been declared (the killed
+// worker publishes `exited` a moment after the countdown fires, so the
+// first few detection passes may legitimately see nothing).
+unsigned detect_until(unsigned min_lost, long lost_ms = 1000) {
+  unsigned newly = 0;
+  for (int spin = 0; spin < 200000 && newly < min_lost; ++spin) {
+    {
+      std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+      if (auto& slot = sched::detail::global_slot())
+        newly += slot->detect_and_reclaim_lost(lost_ms);
+    }
+    if (newly < min_lost) std::this_thread::yield();
+  }
+  return newly;
+}
+
+unsigned repair_pool() {
+  std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+  if (auto& slot = sched::detail::global_slot()) return slot->repair();
+  return 0;
+}
+
+std::uint64_t real_workload(std::size_t n) {
+  auto a = pbds::parray<std::uint64_t>::tabulate(
+      n, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+  std::atomic<std::uint64_t> sum{0};
+  pbds::parallel_for(
+      0, a.size(),
+      [&](std::size_t i) { sum.fetch_add(a[i], std::memory_order_relaxed); },
+      128);
+  return sum.load();
+}
+
+TEST(RealWorkerLoss, IdleKillIsDetectedReclaimedAndRepaired) {
+  unsigned before = sched::num_workers();
+  sched::set_num_workers(4);
+  ASSERT_EQ(sched::num_workers(), 4u);
+
+  const std::uint64_t kills0 = sched::worker_kills_delivered();
+  sched::arm_worker_kill(/*seed=*/7, /*nth=*/0);
+  // Idle workers pass the heartbeat boundary constantly, so the victim
+  // dies almost immediately even with no work in flight.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (sched::worker_kills_delivered() == kills0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  ASSERT_EQ(sched::worker_kills_delivered(), kills0 + 1);
+
+  ASSERT_GE(detect_until(1), 1u);
+  std::uint64_t lost, repairs;
+  {
+    std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+    auto& slot = sched::detail::global_slot();
+    ASSERT_TRUE(slot);
+    lost = slot->workers_lost();
+    EXPECT_EQ(slot->lost_pending_repair(), 1u);
+  }
+  EXPECT_GE(lost, 1u);
+  EXPECT_EQ(repair_pool(), 1u);
+  {
+    std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+    auto& slot = sched::detail::global_slot();
+    repairs = slot->repairs();
+    EXPECT_EQ(slot->lost_pending_repair(), 0u);
+  }
+  EXPECT_GE(repairs, 1u);
+
+  // The repaired pool is whole and computes correctly.
+  EXPECT_EQ(sched::num_workers(), 4u);
+  constexpr std::size_t kN = 1 << 14;
+  EXPECT_EQ(real_workload(kN), static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+
+  sched::disarm_worker_kill();
+  sched::set_num_workers(before);
+}
+
+TEST(RealWorkerLoss, KillsDuringWorkNeverHangOrCorrupt) {
+  unsigned before = sched::num_workers();
+  sched::set_num_workers(4);
+  constexpr std::size_t kN = 1 << 15;
+  const std::uint64_t want = static_cast<std::uint64_t>(kN) * (kN - 1) / 2;
+
+  std::uint64_t delivered_total = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::uint64_t kills0 = sched::worker_kills_delivered();
+    std::atomic<bool> done{false};
+    // Reclaimer stands in for the watchdog: as soon as the kill lands it
+    // declares the loss (waking any joiner hung on the stranded claimed
+    // job) and repairs the slot.
+    std::thread reclaimer([&] {
+      while (true) {
+        if (sched::worker_kills_delivered() > kills0) {
+          std::lock_guard<std::mutex> lock(
+              sched::detail::scheduler_slot_mutex());
+          if (auto& slot = sched::detail::global_slot()) {
+            slot->detect_and_reclaim_lost(1000);
+            if (slot->lost_pending_repair() > 0) slot->repair();
+          }
+        }
+        if (done.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+
+    // Arm mid-traffic so the victim's boundaries are predominantly
+    // steal boundaries (work in flight): some trials strand a claimed
+    // job, some die holding nothing — both must end in a correct result
+    // or a worker_lost throw, never a hang (ctest timeout backstop).
+    sched::arm_worker_kill(static_cast<std::uint64_t>(trial) * 2654435761u + 1,
+                           trial % 8);
+    bool threw = false;
+    std::uint64_t got = 0;
+    try {
+      got = real_workload(kN);
+    } catch (const pbds::worker_lost&) {
+      threw = true;
+    }
+    if (!threw) EXPECT_EQ(got, want) << "trial " << trial;
+    // On an oversubscribed host the workload can finish before the OS
+    // ever schedules the victim; idle workers pass heartbeat boundaries
+    // continuously, so give the armed kill a bounded window to land.
+    for (int spin = 0; spin < 200 && sched::worker_kills_delivered() == kills0;
+         ++spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    sched::disarm_worker_kill();
+    done.store(true, std::memory_order_release);
+    reclaimer.join();
+    delivered_total += sched::worker_kills_delivered() - kills0;
+    // Settle: every delivered kill repaired before the next trial.
+    if (sched::worker_kills_delivered() > kills0) {
+      for (int spin = 0; spin < 200000; ++spin) {
+        unsigned pending = 1;
+        {
+          std::lock_guard<std::mutex> lock(
+              sched::detail::scheduler_slot_mutex());
+          if (auto& slot = sched::detail::global_slot()) {
+            slot->detect_and_reclaim_lost(1000);
+            if (slot->lost_pending_repair() > 0) slot->repair();
+            pending = slot->lost_pending_repair();
+          } else {
+            pending = 0;
+          }
+        }
+        if (pending == 0) break;
+        std::this_thread::yield();
+      }
+    }
+    EXPECT_EQ(sched::num_workers(), 4u) << "trial " << trial;
+    // Post-repair sanity: the pool still computes correctly.
+    EXPECT_EQ(real_workload(1 << 12),
+              static_cast<std::uint64_t>(1 << 12) * ((1 << 12) - 1) / 2)
+        << "trial " << trial;
+  }
+  EXPECT_GE(delivered_total, 1u) << "no trial delivered a kill";
+
+  std::uint64_t lost, repaired;
+  {
+    std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+    auto& slot = sched::detail::global_slot();
+    ASSERT_TRUE(slot);
+    lost = slot->workers_lost();
+    repaired = slot->repairs() + slot->retired_workers();
+  }
+  // Every detected loss was either repaired or (never here: spawn works)
+  // retired — no slot left in limbo.
+  EXPECT_EQ(lost, repaired);
+
+  sched::set_num_workers(before);
+}
+
+TEST(RealWorkerLoss, QuiesceDeadlineThrowsWithProgress) {
+  unsigned before = sched::num_workers();
+  sched::set_num_workers(4);
+
+  std::atomic<bool> right_started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> quiesce_threw{false};
+  std::atomic<std::uint64_t> executions_seen{0};
+
+  std::thread prober([&] {
+    while (!right_started.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    // A spawned worker is pinned inside the right branch until released,
+    // so the bounded quiesce must give up and throw rather than spin.
+    try {
+      sched::quiesce(std::chrono::milliseconds(50));
+    } catch (const pbds::stall_detected& e) {
+      quiesce_threw.store(true, std::memory_order_release);
+      if (e.has_progress())
+        executions_seen.store(e.checkpoint_progress().executions,
+                              std::memory_order_release);
+    }
+    release.store(true, std::memory_order_release);
+  });
+
+  pbds::fork2join(
+      [&] {
+        // Left (run by worker 0 first): hold the fork open until the
+        // right branch has been stolen, guaranteeing a busy worker.
+        while (!right_started.load(std::memory_order_acquire))
+          std::this_thread::yield();
+      },
+      [&] {
+        right_started.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire))
+          std::this_thread::yield();
+      });
+  prober.join();
+
+  EXPECT_TRUE(quiesce_threw.load());
+  // With the pool drained, the unbounded form returns promptly.
+  sched::quiesce();
+  sched::set_num_workers(before);
+}
+
+TEST(RealWorkerLoss, DumpWorkerStatsReportsHeartbeatAndDeque) {
+  unsigned before = sched::num_workers();
+  sched::set_num_workers(2);
+  (void)real_workload(1 << 10);
+
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  ASSERT_NE(mem, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(sched::detail::scheduler_slot_mutex());
+    auto& slot = sched::detail::global_slot();
+    ASSERT_TRUE(slot);
+    slot->dump_worker_stats(mem);
+  }
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+
+  EXPECT_NE(out.find("worker 0"), std::string::npos);
+  EXPECT_NE(out.find("worker 1"), std::string::npos);
+  EXPECT_NE(out.find("hb_age_ms="), std::string::npos);
+  EXPECT_NE(out.find("deque="), std::string::npos);
+  sched::set_num_workers(before);
+}
+
+// --- service ----------------------------------------------------------------
+
+TEST(ServiceWorkerLoss, TraceReplaysAndLossIsRetried) {
+  using namespace pbds::service;  // NOLINT
+  auto run = [](std::uint64_t seed) {
+    service_config cfg;
+    cfg.queue_capacity = 8;
+    cfg.policy = backpressure::reject;
+    cfg.dispatchers = 0;  // manual: scripted, deterministic interleaving
+    cfg.default_backoff_us = 1;
+    pipeline_service svc(cfg);
+    pbds::scoped_block_size bs(128);
+    sched::scoped_deterministic det(seed, 4);
+    det.scheduler().arm_worker_kill(seed, 6);
+    std::uint64_t got = 0;
+    auto ticket = svc.submit(0, [&] { got = det_workload(1 << 12); });
+    while (svc.run_one()) {
+    }
+    ticket.get();  // the retry after the loss must succeed
+    return std::tuple(svc.trace_hash(), svc.stats().worker_lost_seen,
+                      svc.stats().completed, svc.stats().retries, got);
+  };
+  for (std::uint64_t seed : {5ull, 17ull}) {
+    auto [hash_a, lost_a, done_a, retries_a, got_a] = run(seed);
+    auto [hash_b, lost_b, done_b, retries_b, got_b] = run(seed);
+    // Identical seeds ⇒ identical decision traces, loss included.
+    EXPECT_EQ(hash_a, hash_b) << "seed " << seed;
+    EXPECT_EQ(lost_a, lost_b) << "seed " << seed;
+    EXPECT_EQ(done_a, 1u) << "seed " << seed;
+    EXPECT_EQ(got_a, got_b) << "seed " << seed;
+    if (lost_a > 0) EXPECT_GE(retries_a, 1u) << "seed " << seed;
+  }
+}
+
+}  // namespace
