@@ -41,6 +41,7 @@
 #include "integrity/block_digest.hpp"
 #include "recovery/checkpoint_ops.hpp"
 #include "service/soak_driver.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -56,6 +57,8 @@ struct cli {
   std::string json_path;    // empty = no JSON report
   bool service = false;     // run the pipeline-service soak instead
   bool verify_overhead = false;  // A/B the integrity digest cost instead
+  bool metrics = false;          // dump the telemetry registry after the run
+  bool metrics_overhead = false; // A/B the metrics-recording cost instead
   bool isolate = false;     // fork one subprocess per configuration
   double timeout_sec = 60;  // per-configuration wall clock (isolated mode)
   int retries = 1;          // max retries after timeout/crash (isolated mode)
@@ -269,6 +272,10 @@ cli parse_cli(int argc, char** argv) {
       c.service = true;
     } else if (is("--verify-overhead")) {
       c.verify_overhead = true;
+    } else if (is("--metrics")) {
+      c.metrics = true;
+    } else if (is("--metrics-overhead")) {
+      c.metrics_overhead = true;
     } else if (is("--isolate")) {
       c.isolate = true;
     } else if (is("--timeout")) {
@@ -316,6 +323,7 @@ cli parse_cli(int argc, char** argv) {
           "          [-n SIZE] [-repeat R] [-warmup SECONDS] [--list]\n"
           "          [--json PATH] [--isolate] [--timeout SECONDS]\n"
           "          [--retries N] [--service] [--verify-overhead]\n"
+          "          [--metrics] [--metrics-overhead]\n"
           "          [--baseline REPORT.json] [--threshold X]\n"
           "          [--bytes-threshold X] [--inject-slowdown F]\n"
           "--service runs the pipeline-service overload soak (configured\n"
@@ -324,6 +332,11 @@ cli parse_cli(int argc, char** argv) {
           "--verify-overhead times the same contiguous checkpointed\n"
           "kernels with digest-on-complete enabled vs disabled and\n"
           "records the ratio (the integrity tax DESIGN.md documents)\n"
+          "--metrics dumps the telemetry registry (counters + latency\n"
+          "percentiles) after the run, into the --json extras when set\n"
+          "--metrics-overhead A/Bs the metrics-recording cost (registry\n"
+          "on vs off) on a fused-reduce and a service-soak kernel and\n"
+          "records overhead_ratio (CI gates it at 1.05)\n"
           "--baseline replays every ok row of a committed --json report at\n"
           "its recorded n and exits 1 if any fresh median exceeds\n"
           "baseline*(1+--threshold) or allocated bytes exceed\n"
@@ -545,6 +558,154 @@ int run_verify_overhead(const cli& c) {
   return report && !report->ok() ? 1 : 0;
 }
 
+// --- telemetry dump (--metrics) ------------------------------------------------
+
+// Print every non-zero registry counter plus the latency-histogram
+// percentiles, and (when a --json report is open) append one
+// "telemetry" row whose extras carry the full counter set — the CI
+// artifact a dashboard can scrape without parsing stdout.
+void dump_metrics(json_report* report) {
+  auto snap = telemetry::snapshot();
+  std::printf("-- telemetry registry --\n");
+  std::vector<std::pair<std::string, double>> extra;
+  for (std::size_t i = 0; i < telemetry::kNumCounters; ++i) {
+    auto cnt = static_cast<telemetry::counter>(i);
+    std::uint64_t v = snap.get(cnt);
+    if (v != 0)
+      std::printf("%-22s %14llu\n", telemetry::counter_name(cnt),
+                  static_cast<unsigned long long>(v));
+    extra.emplace_back(std::string("metrics.") + telemetry::counter_name(cnt),
+                       static_cast<double>(v));
+  }
+  for (std::size_t i = 0; i < telemetry::kNumHists; ++i) {
+    auto h = static_cast<telemetry::hist>(i);
+    const auto& hs = snap.get(h);
+    if (hs.total != 0)
+      std::printf("%-22s n=%llu p50<=%llu p99<=%llu\n",
+                  telemetry::hist_name(h),
+                  static_cast<unsigned long long>(hs.total),
+                  static_cast<unsigned long long>(hs.p50()),
+                  static_cast<unsigned long long>(hs.p99()));
+    extra.emplace_back(std::string("metrics.") + telemetry::hist_name(h) +
+                           ".count",
+                       static_cast<double>(hs.total));
+    extra.emplace_back(
+        std::string("metrics.") + telemetry::hist_name(h) + ".p50",
+        static_cast<double>(hs.p50()));
+    extra.emplace_back(
+        std::string("metrics.") + telemetry::hist_name(h) + ".p99",
+        static_cast<double>(hs.p99()));
+  }
+  if (snap.bytes_live_peak != 0)
+    std::printf("%-22s %14lld\n", "bytes_live_peak",
+                static_cast<long long>(snap.bytes_live_peak));
+  extra.emplace_back("metrics.bytes_live_peak",
+                     static_cast<double>(snap.bytes_live_peak));
+  std::fflush(stdout);
+  if (report) {
+    measurement m{};
+    report->add({"telemetry", "delay", run_status::ok, 1, m, extra});
+  }
+}
+
+// --- metrics-overhead mode (--metrics-overhead) --------------------------------
+
+// Times identical kernels with the metrics registry enabled vs disabled
+// (same interleaved A/B discipline as --verify-overhead, so machine-load
+// drift cancels). Two kernels bracket the recording cost: a fused
+// delayed map|reduce — the paper's hot path, where any per-block
+// bookkeeping shows up directly — and a short pipeline-service soak,
+// the instrumentation-dense path (every admit/retry/complete crosses the
+// registry choke point). CI gates the ratio at 1.05.
+int run_metrics_overhead(const cli& c) {
+  const std::size_t n = c.n ? c.n : c.opt.scaled(std::size_t{1} << 24);
+  struct shape {
+    const char* name;
+    std::function<void()> run;
+  };
+  std::vector<shape> shapes;
+  shapes.push_back({"fused-reduce", [n] {
+                      auto xs = delayed::map(
+                          [](std::size_t i) {
+                            std::uint64_t z = i + 0x9e3779b97f4a7c15ull;
+                            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+                            return z ^ (z >> 27);
+                          },
+                          delayed::iota(n));
+                      do_not_optimize(delayed::reduce(
+                          [](std::uint64_t a, std::uint64_t b) {
+                            return a + b;
+                          },
+                          std::uint64_t{0}, xs));
+                    }});
+  shapes.push_back({"service-soak", [&c] {
+                      pbds::service::soak_config scfg;
+                      scfg.service = pbds::service::service_config::from_env();
+                      scfg.producers = 4;
+                      scfg.jobs_per_producer = 32;
+                      scfg.n = c.n ? c.n : (std::size_t{1} << 14);
+                      auto r = pbds::service::run_soak(scfg);
+                      do_not_optimize(r.stats.completed);
+                    }});
+  std::unique_ptr<json_report> report;
+  if (!c.json_path.empty())
+    report = std::make_unique<json_report>(c.json_path);
+  std::printf("%-24s %12s %12s %12s %9s\n", "kernel", "n", "metrics(s)",
+              "nometrics(s)", "overhead");
+  int rc = 0;
+  for (const auto& s : shapes) {
+    auto time_one = [&](bool on) {
+      telemetry::scoped_metrics g(on);
+      auto t0 = std::chrono::steady_clock::now();
+      s.run();
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    using clock = std::chrono::steady_clock;
+    auto deadline =
+        clock::now() + std::chrono::duration<double>(c.opt.warmup);
+    do {
+      (void)time_one(true);
+      (void)time_one(false);
+    } while (clock::now() < deadline);
+    std::vector<double> ons, offs;
+    for (int r = 0; r < c.opt.repeat; ++r) {
+      if (r % 2 == 0) {
+        ons.push_back(time_one(true));
+        offs.push_back(time_one(false));
+      } else {
+        offs.push_back(time_one(false));
+        ons.push_back(time_one(true));
+      }
+    }
+    auto median = [](std::vector<double>& xs) {
+      std::sort(xs.begin(), xs.end());
+      std::size_t mid = xs.size() / 2;
+      return xs.size() % 2 == 1 ? xs[mid] : (xs[mid - 1] + xs[mid]) / 2.0;
+    };
+    double on_med = median(ons);
+    double off_med = median(offs);
+    double r = off_med > 0 ? on_med / off_med : 0.0;
+    std::printf("%-24s %12zu %12.4f %12.4f %+8.2f%%\n", s.name, n, on_med,
+                off_med, (r - 1.0) * 100);
+    if (report) {
+      measurement m{};
+      m.seconds = on_med;
+      m.median_seconds = on_med;
+      report->add({std::string("metrics-overhead.") + s.name, "delay",
+                   run_status::ok, 1, m,
+                   {{"n", static_cast<double>(n)},
+                    {"metrics_median_s", on_med},
+                    {"nometrics_median_s", off_med},
+                    {"overhead_ratio", r}}});
+    }
+    std::fflush(stdout);
+  }
+  if (report && !report->ok()) rc = 1;
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -553,6 +714,8 @@ int main(int argc, char** argv) {
   if (!c.baseline_path.empty()) return run_baseline_mode(c);
 
   if (c.verify_overhead) return run_verify_overhead(c);
+
+  if (c.metrics_overhead) return run_metrics_overhead(c);
 
   if (c.service) {
     // Pipeline-service overload soak: closed loop at whatever pressure
@@ -592,7 +755,10 @@ int main(int argc, char** argv) {
                     static_cast<double>(r.stats.blocks_salvaged)},
                    {"blocks_redone",
                     static_cast<double>(r.stats.blocks_redone)}}});
+      if (c.metrics) dump_metrics(&report);
       if (!report.ok()) return 1;
+    } else if (c.metrics) {
+      dump_metrics(nullptr);
     }
     return 0;
   }
@@ -657,5 +823,6 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
+  if (c.metrics) dump_metrics(report.get());
   return 0;
 }

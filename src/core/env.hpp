@@ -83,6 +83,9 @@ inline constexpr const char* kKnownEnvKnobs[] = {
     "PBDS_VERIFY_BULK",
     "PBDS_WORKER_LOST_MS",
     "PBDS_REPAIR_MAX",
+    "PBDS_METRICS",
+    "PBDS_TRACE_FILE",
+    "PBDS_TRACE_CAP",
 };
 
 // Warn once per process about PBDS_-prefixed environment variables that

@@ -198,17 +198,23 @@ class corruption_detected : public std::runtime_error {
 
 namespace detail {
 
-inline bool verify_resume_by_env() {
-  static const bool v =
+// First-touch env caches, re-readable via reload_verify_from_env() so
+// test scopes that snapshot/clear PBDS_* (tests/differential.hpp's
+// scoped_env) see the gates they set, not whatever was exported when the
+// first checkpointed op ran.
+inline bool& verify_resume_env_slot() {
+  static bool v =
       pbds::detail::env_integer("PBDS_VERIFY_RESUME", 0, 1, 1) == 1;
   return v;
 }
-
-inline bool verify_bulk_by_env() {
-  static const bool v =
+inline bool& verify_bulk_env_slot() {
+  static bool v =
       pbds::detail::env_integer("PBDS_VERIFY_BULK", 0, 1, 0) == 1;
   return v;
 }
+
+inline bool verify_resume_by_env() { return verify_resume_env_slot(); }
+inline bool verify_bulk_by_env() { return verify_bulk_env_slot(); }
 
 // Overrides: >0 forces on, <0 forces off, 0 follows the env default.
 // Plain ints guarded by the scoped_* constructors' single-threaded
@@ -232,6 +238,16 @@ inline std::atomic<int>& verify_resume_force() {
 }
 
 }  // namespace detail
+
+// Re-read PBDS_VERIFY_RESUME / PBDS_VERIFY_BULK from the current
+// environment (not thread-safe; call only while no parallel work is in
+// flight — the scoped_env contract).
+inline void reload_verify_from_env() {
+  detail::verify_resume_env_slot() =
+      pbds::detail::env_integer("PBDS_VERIFY_RESUME", 0, 1, 1) == 1;
+  detail::verify_bulk_env_slot() =
+      pbds::detail::env_integer("PBDS_VERIFY_BULK", 0, 1, 0) == 1;
+}
 
 // True when salvaged blocks must be re-digested before being trusted
 // (and block digests recorded at completion to make that possible).

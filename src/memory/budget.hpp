@@ -38,6 +38,7 @@
 
 #include "core/env.hpp"
 #include "recovery/progress.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pbds {
 
@@ -77,12 +78,22 @@ class budget_exceeded : public std::bad_alloc {
     return progress_;
   }
 
+  // Set by fault injectors (recovery::maybe_inject_boundary_fault) on the
+  // refusals they fabricate. An injected refusal is not transient memory
+  // pressure — nothing will drain — so the budget_retry ladder must not
+  // absorb it: retrying would let the attempt complete and silently change
+  // test semantics whenever an ambient PBDS_BUDGET_BYTES makes
+  // budget_active() true (the env-leak bug this flag fixes).
+  void mark_injected() noexcept { injected_ = true; }
+  [[nodiscard]] bool injected() const noexcept { return injected_; }
+
  private:
   std::size_t requested_;
   std::int64_t live_;
   std::int64_t limit_;
   recovery::progress progress_{};
   bool has_progress_ = false;
+  bool injected_ = false;
   // Fixed buffer: composing the message must not allocate — we are, by
   // definition, out of budget when this is constructed.
   char what_[160];
@@ -170,6 +181,14 @@ inline void set_budget_limit(std::int64_t bytes) {
   std::lock_guard<std::mutex> lock(detail::scope_registry_mutex());
   detail::budget_limit_slot().store(bytes, std::memory_order_relaxed);
   detail::recompute_effective_limit();
+}
+
+// Re-read PBDS_BUDGET_BYTES into the base limit. The slot caches the env
+// on first touch; tests that snapshot/clear the environment
+// (tests/differential.hpp scoped_env) call this so the cleared env is
+// actually observed instead of the stale first-touch value.
+inline void reload_budget_limit_from_env() {
+  set_budget_limit(detail::budget_limit_from_env());
 }
 
 [[nodiscard]] inline std::int64_t budget_refusals() {
@@ -266,8 +285,12 @@ auto budget_retry(const F& f) -> decltype(f()) {
   for (int attempt = 0;; ++attempt) {
     try {
       return f();
-    } catch (const budget_exceeded&) {
-      if (attempt >= attempts) throw;
+    } catch (const budget_exceeded& e) {
+      // An injector-fabricated refusal is deterministic, not pressure:
+      // rethrow immediately so fault-injection tests see the same
+      // propagation whether or not an ambient budget is active.
+      if (e.injected() || attempt >= attempts) throw;
+      telemetry::count(telemetry::counter::budget_retries);
       std::this_thread::sleep_for(
           std::chrono::microseconds(backoff << attempt));
     }

@@ -36,6 +36,7 @@
 #include <new>
 
 #include "memory/budget.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pbds::memory {
 
@@ -57,6 +58,7 @@ inline void note_alloc(std::size_t bytes) {
          !detail::g_bytes_peak.compare_exchange_weak(
              peak, live, std::memory_order_relaxed)) {
   }
+  telemetry::observe_peak_bytes(live);
 }
 
 inline void note_free(std::size_t bytes) {
@@ -266,8 +268,10 @@ class alloc_admission {
     if (bytes_live() + reserved + b > limit) {
       retract();
       detail::g_budget_refusals.fetch_add(1, std::memory_order_relaxed);
+      telemetry::count(telemetry::counter::budget_refusals);
       throw budget_exceeded(bytes, bytes_live(), limit);
     }
+    telemetry::count(telemetry::counter::budget_admissions);
   }
 
   ~alloc_admission() { retract(); }

@@ -34,6 +34,8 @@
 #include "memory/tracking.hpp"
 #include "recovery/progress.hpp"
 #include "sched/cancellation.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pbds::recovery {
 
@@ -179,7 +181,10 @@ class block_ledger {
     std::uint64_t prev =
         started_[j >> 6].fetch_or(bit, std::memory_order_acq_rel);
     bool redo = (prev & bit) != 0;
-    if (redo) redone_.fetch_add(1, std::memory_order_relaxed);
+    if (redo) {
+      redone_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::count(telemetry::counter::blocks_redone);
+    }
     return redo;
   }
 
@@ -205,7 +210,10 @@ class block_ledger {
   }
 
   // Record that an attempt skipped block j because it was already complete.
-  void note_salvaged() { salvaged_.fetch_add(1, std::memory_order_relaxed); }
+  void note_salvaged() {
+    salvaged_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::counter::blocks_salvaged);
+  }
 
   // --- integrity: per-block digests, quarantine, header validation ---------
 
@@ -247,6 +255,9 @@ class block_ledger {
     header_xor_.fetch_xor(header_term(j), std::memory_order_relaxed);
     digests_[j].store(0, std::memory_order_relaxed);
     quarantined_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::counter::blocks_quarantined);
+    telemetry::trace_instant(telemetry::trace_kind::block, "quarantine",
+                             static_cast<std::int64_t>(j));
     return true;
   }
 
@@ -419,8 +430,15 @@ inline void maybe_inject_boundary_fault() {
   switch (s.kind.load(std::memory_order_relaxed)) {
     case boundary_fault_kind::stall:
       throw stall_detected("pbds: injected stall at block boundary");
-    case boundary_fault_kind::budget:
-      throw budget_exceeded(1, memory::bytes_live(), 1);
+    case boundary_fault_kind::budget: {
+      // Marked injected so memory::budget_retry rethrows instead of
+      // retrying: a fabricated refusal is not transient pressure, and the
+      // sweep's propagation contract must hold regardless of whether an
+      // ambient PBDS_BUDGET_BYTES has budget_active() true.
+      budget_exceeded e(1, memory::bytes_live(), 1);
+      e.mark_injected();
+      throw e;
+    }
     default:
       throw boundary_fault{};
   }

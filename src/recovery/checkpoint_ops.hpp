@@ -47,6 +47,8 @@
 #include "sched/cancellation.hpp"
 #include "sched/parallel.hpp"
 #include "stream/streams.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pbds::recovery {
 
@@ -123,6 +125,8 @@ template <typename T>
 template <typename T, typename F>
 decltype(auto) with_progress(resumable_result<T>& rr, const F& f) {
   auto annotated = [&]() -> decltype(f()) {
+    telemetry::trace_span span(telemetry::trace_kind::retry,
+                               "checkpoint_attempt");
     try {
       return f();
     } catch (budget_exceeded& e) {
@@ -185,6 +189,7 @@ void materialize_blocks(const Bid& bd, resumable_result<T>& rr) {
           for (; k < len; ++k) ::new (q + base + k) T(st.next());
           digest_on_complete(led, j, q + base, len);
           led.mark_complete(j);
+          telemetry::observe(telemetry::hist::block_bytes, len * sizeof(T));
           if (requarantined) led.note_quarantine_reexec();
           return;
         } catch (...) {
@@ -213,6 +218,7 @@ void materialize_blocks(const Bid& bd, resumable_result<T>& rr) {
     stream::drain_into(st, q + base, len);
     digest_on_complete(led, j, q + base, len);
     led.mark_complete(j);
+    telemetry::observe(telemetry::hist::block_bytes, len * sizeof(T));
     if (requarantined) led.note_quarantine_reexec();
   });
   // An enclosing-region cancellation collapses the apply without unwinding

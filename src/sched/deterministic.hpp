@@ -176,6 +176,8 @@ class det_scheduler {
     if (static_cast<long>(forks_) >= stall_after_ && !cs->cancelled()) {
       cs->capture(std::make_exception_ptr(stall_detected(
           "pbds deterministic: injected stall (arm_stall_after)")));
+      telemetry::count(telemetry::counter::stalls);
+      telemetry::trace_instant(telemetry::trace_kind::sched, "stall");
     }
   }
 
@@ -189,6 +191,7 @@ class det_scheduler {
     if (cs->must_complete()) return;
     kill_at_ = -1;  // one death per arming, as in the real pool
     ++kills_delivered_;
+    telemetry::count(telemetry::counter::workers_lost);
     record(event::worker_kill);
     // Capture even into an already-cancelled region: first-exception-wins
     // decides what the root sees, same as a real kill racing a failure.
@@ -245,7 +248,21 @@ class det_scheduler {
     return z ^ (z >> 31);
   }
 
-  void record(event e) { trace_.push_back(e); }
+  // Every simulated decision lands in the replay trace AND, when tracing
+  // is armed (PBDS_TRACE_FILE / scoped_trace), in the timeline rings — so
+  // a failure replayed from (seed, nth) produces a viewable Chrome-trace
+  // of the exact interleaving, not just a hash.
+  void record(event e) {
+    trace_.push_back(e);
+    if (e == event::steal) telemetry::count(telemetry::counter::steals);
+    if (telemetry::trace_enabled()) {
+      static constexpr const char* kNames[] = {
+          "fork_keep", "fork_swap", "steal", "inline_join", "worker_kill"};
+      telemetry::trace_instant(telemetry::trace_kind::sched,
+                               kNames[static_cast<std::size_t>(e)],
+                               static_cast<std::int64_t>(trace_.size()));
+    }
+  }
 
   std::uint64_t seed_;
   std::uint64_t state_;

@@ -36,6 +36,7 @@
 #include "sched/deterministic.hpp"
 #include "sched/exec_policy.hpp"
 #include "sched/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pbds {
 
@@ -51,12 +52,17 @@ namespace sched {
 }
 }  // namespace sched
 
-// Run `left` and `right` in parallel; return when both are complete.
-// The right branch is made stealable; the forking worker runs the left
-// branch, then either runs the right branch inline (if no one stole it) or
-// steals other work while waiting for the thief to finish it.
+namespace detail {
+
+// The execution engine of fork2join, with no telemetry of its own. Both
+// entry points layer counting on top: the public fork2join records one
+// fork/join pair per call, while parallel_for batch-counts its whole
+// (deterministic, mode-invariant) split tree with two bulk counts at the
+// loop root — per-node counting would put an atomic RMW inside a path
+// that is otherwise two function calls on a 1-worker pool, and the
+// `--metrics-overhead` gate caps the registry tax at 5%.
 template <typename L, typename R>
-void fork2join(L&& left, R&& right) {
+void fork2join_impl(L&& left, R&& right) {
   switch (sched::current_exec_mode()) {
     case sched::exec_mode::sequential:
       left();
@@ -128,17 +134,100 @@ void fork2join(L&& left, R&& right) {
   }
 }
 
+// Balances a bulk fork count on every exit path: the join protocol
+// completes all joins before the root rethrow, so joins must reach the
+// registry even when the region unwinds.
+struct join_count {
+  std::uint64_t n;
+  ~join_count() { telemetry::count(telemetry::counter::joins, n); }
+};
+
+}  // namespace detail
+
+// Run `left` and `right` in parallel; return when both are complete.
+// The right branch is made stealable; the forking worker runs the left
+// branch, then either runs the right branch inline (if no one stole it) or
+// steals other work while waiting for the thief to finish it.
+//
+// Telemetry: one logical fork/join pair per call, identically in
+// deterministic, 1-worker, and parallel execution — the fork tree is
+// mode-invariant for a given worker count, so a deterministic replay at
+// `p` workers reports exactly the counts the real pool at `p` reports
+// (the parity oracle in tests/test_telemetry.cpp). Sequential mode forks
+// nothing and counts nothing.
+template <typename L, typename R>
+void fork2join(L&& left, R&& right) {
+  if (sched::current_exec_mode() == sched::exec_mode::sequential) {
+    left();
+    right();
+    return;
+  }
+  telemetry::count(telemetry::counter::forks);
+  detail::join_count jc{1};
+  detail::fork2join_impl(std::forward<L>(left), std::forward<R>(right));
+}
+
 namespace detail {
 
 inline constexpr std::size_t kDefaultGranularity = 512;
+
+// Leaf count of parallel_for's halving split tree over a range of size n:
+// ranges larger than g split at the midpoint (floor half left, ceil half
+// right) until every leaf is <= g. The tree depends only on (n, g) — not
+// on stealing, worker count, or execution mode — so its size can be
+// recorded as two bulk counts at the loop root instead of one atomic RMW
+// pair per interior node. Sizes at any level of a halving tree take at
+// most two distinct values (floor/ceil of n/2^k), so this runs in
+// O(log n) with no recursion.
+[[nodiscard]] inline std::uint64_t split_tree_leaves(std::size_t n,
+                                                     std::size_t g) {
+  if (n <= g) return 1;
+  std::size_t sz[2] = {n, 0};
+  std::uint64_t cnt[2] = {1, 0};
+  std::uint64_t leaves = 0;
+  while (cnt[0] + cnt[1] > 0) {
+    std::size_t nsz[2] = {0, 0};
+    std::uint64_t ncnt[2] = {0, 0};
+    auto emit = [&](std::size_t s, std::uint64_t c) {
+      for (int i = 0; i < 2; ++i) {
+        if (ncnt[i] == 0) {
+          nsz[i] = s;
+          ncnt[i] = c;
+          return;
+        }
+        if (nsz[i] == s) {
+          ncnt[i] += c;
+          return;
+        }
+      }
+      assert(false && "halving tree has > 2 distinct sizes per level");
+    };
+    for (int i = 0; i < 2; ++i) {
+      if (cnt[i] == 0) continue;
+      if (sz[i] <= g) {
+        leaves += cnt[i];
+        continue;
+      }
+      emit(sz[i] / 2, cnt[i]);
+      emit(sz[i] - sz[i] / 2, cnt[i]);
+    }
+    sz[0] = nsz[0];
+    cnt[0] = ncnt[0];
+    sz[1] = nsz[1];
+    cnt[1] = ncnt[1];
+  }
+  return leaves;
+}
 
 template <typename F>
 void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
                       std::size_t granularity) {
   if (hi - lo > granularity) {
     std::size_t mid = lo + (hi - lo) / 2;
-    fork2join([&] { parallel_for_rec(lo, mid, f, granularity); },
-              [&] { parallel_for_rec(mid, hi, f, granularity); });
+    // Uncounted fork: the loop root already recorded this whole tree
+    // (split_tree_leaves) with two bulk counts.
+    fork2join_impl([&] { parallel_for_rec(lo, mid, f, granularity); },
+                   [&] { parallel_for_rec(mid, hi, f, granularity); });
     return;
   }
   // Chunk-boundary bail: once the region is cancelled, remaining leaves
@@ -178,6 +267,18 @@ void parallel_for(std::size_t lo, std::size_t hi, const F& f,
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;
   }
+  // Batch the tree's fork/join telemetry at the root: the split tree is a
+  // pure function of (n, granularity), so the totals equal what per-node
+  // counting would record, in every execution mode, at a cost that no
+  // longer scales with the number of forks. A cancelled loop still ran
+  // (and still joined) every interior node, so the totals stay exact
+  // under cancellation too.
+  const std::uint64_t interior =
+      telemetry::metrics_enabled()
+          ? detail::split_tree_leaves(n, granularity) - 1
+          : 0;
+  telemetry::count(telemetry::counter::forks, interior);
+  detail::join_count jc{interior};
   detail::parallel_for_rec(lo, hi, f, granularity);
 }
 

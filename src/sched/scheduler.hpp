@@ -39,6 +39,8 @@
 #include "sched/cancellation.hpp"
 #include "sched/chase_lev_deque.hpp"
 #include "sched/job.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pbds::sched {
 
@@ -387,6 +389,9 @@ class scheduler {
       if (!dead) continue;
       s.lost.store(true, std::memory_order_release);
       workers_lost_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::count(telemetry::counter::workers_lost);
+      telemetry::trace_instant(telemetry::trace_kind::repair, "worker_lost",
+                               id);
       ++newly_lost;
       reclaim_slot(id);
     }
@@ -436,6 +441,8 @@ class scheduler {
         detail::maybe_inject_spawn_fault();
         th = std::thread([this, id] { worker_loop(id); });
         repairs_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count(telemetry::counter::repairs);
+        telemetry::trace_instant(telemetry::trace_kind::repair, "repair", id);
         ++repaired;
       } catch (const std::system_error& e) {
         // Same graceful degradation as a constructor spawn failure: keep
@@ -519,6 +526,7 @@ class scheduler {
       stat.epoch.fetch_add(1, std::memory_order_relaxed);
       stat.heartbeat_ns.store(detail::steady_now_ns(),
                               std::memory_order_relaxed);
+      telemetry::count(telemetry::counter::heartbeats);
       // Fencing: once detection has declared this slot lost (a false
       // positive is possible only with a pathologically small
       // PBDS_WORKER_LOST_MS), the declaration is authoritative — the
@@ -552,7 +560,12 @@ class scheduler {
         // on clearing makes the payload's memory effects (note_alloc /
         // note_free traffic) visible to the quiescing thread's acquire.
         stat.busy.store(true, std::memory_order_relaxed);
-        bool failed = j->execute();
+        bool failed;
+        {
+          telemetry::trace_span span(telemetry::trace_kind::job, "job",
+                                     static_cast<std::int64_t>(id));
+          failed = j->execute();
+        }
         stat.busy.store(false, std::memory_order_release);
         stat.claimed.store(nullptr, std::memory_order_relaxed);
         if (failed) note_subtree_failure();
@@ -663,8 +676,12 @@ class scheduler {
     for (unsigned attempt = 0; attempt < 2 * n; ++attempt) {
       unsigned victim = static_cast<unsigned>(detail::next_random() % n);
       if (victim == self) continue;
-      if (job* j = deques_[victim].steal()) return j;
+      if (job* j = deques_[victim].steal()) {
+        telemetry::count(telemetry::counter::steals);
+        return j;
+      }
     }
+    telemetry::count(telemetry::counter::failed_steals);
     return nullptr;
   }
 
@@ -894,6 +911,8 @@ class watchdog {
           now >= e.deadline && !e.state->cancelled()) {
         e.state->capture(std::make_exception_ptr(stall_detected(
             "pbds watchdog: fork-join region exceeded its deadline")));
+        telemetry::count(telemetry::counter::stalls);
+        telemetry::trace_instant(telemetry::trace_kind::sched, "deadline");
       }
     }
   }
@@ -901,8 +920,11 @@ class watchdog {
   static void cancel_all_tracked_regions(const char* why) {
     std::lock_guard<std::mutex> lock(region_registry_mutex());
     for (auto& e : region_registry()) {
-      if (!e.state->cancelled())
+      if (!e.state->cancelled()) {
         e.state->capture(std::make_exception_ptr(stall_detected(why)));
+        telemetry::count(telemetry::counter::stalls);
+        telemetry::trace_instant(telemetry::trace_kind::sched, "stall");
+      }
     }
   }
 

@@ -67,6 +67,8 @@
 #include "service/admission_queue.hpp"
 #include "service/circuit_breaker.hpp"
 #include "service/overloaded.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pbds::service {
 
@@ -254,6 +256,10 @@ struct job_record {
   // salvage verification *forced* on, even past a PBDS_VERIFY_RESUME=0
   // opt-out. Only touched by the executing dispatcher.
   bool corrupt_seen = false;
+  // End-to-end latency clock: submit construction to terminal transition
+  // (telemetry::hist::service_latency_us).
+  std::chrono::steady_clock::time_point submitted_at =
+      std::chrono::steady_clock::now();
 
   // Terminal-state handshake. Lock order: after the service mutex.
   std::mutex m;
@@ -623,6 +629,54 @@ class pipeline_service {
   }
 
   void record(event ev, unsigned job_class, std::uint32_t aux = 0) {
+    // Mirror every decision into the process-wide metrics registry (and
+    // the trace timeline) — the per-class admit/shed/retry/breaker rows a
+    // dashboard reads without holding this service's mutex. Rejections of
+    // any flavor count as shed load; readmissions count as admissions.
+    {
+      using tc = telemetry::counter;
+      using cc = telemetry::class_counter;
+      switch (ev) {
+        case event::admit:
+        case event::readmit:
+          telemetry::count(tc::jobs_admitted);
+          telemetry::count_class(cc::admitted, job_class);
+          break;
+        case event::shed:
+        case event::reject_full:
+        case event::reject_open:
+        case event::reject_draining:
+          telemetry::count(tc::jobs_shed);
+          telemetry::count_class(cc::shed, job_class);
+          break;
+        case event::retry:
+        case event::resume:
+          telemetry::count(tc::jobs_retried);
+          telemetry::count_class(cc::retried, job_class);
+          break;
+        case event::complete:
+          telemetry::count(tc::jobs_completed);
+          break;
+        case event::fail:
+          telemetry::count(tc::jobs_failed);
+          break;
+        case event::trip:
+          telemetry::count(tc::breaker_trips);
+          telemetry::count_class(cc::breaker_trips, job_class);
+          break;
+        case event::probe:
+          telemetry::count(tc::breaker_probes);
+          break;
+        case event::close:
+          telemetry::count(tc::breaker_closes);
+          break;
+        default:
+          break;
+      }
+      if (telemetry::trace_enabled())
+        telemetry::trace_instant(telemetry::trace_kind::job, to_string(ev),
+                                 static_cast<std::int64_t>(job_class));
+    }
     auto mix = [this](std::uint8_t b) {
       trace_hash_ ^= b;
       trace_hash_ *= 1099511628211ull;
@@ -660,6 +714,12 @@ class pipeline_service {
   // record mutex (lock order: service before record).
   static void finish(std::shared_ptr<detail::job_record> rec, job_status st,
                      std::exception_ptr err) {
+    telemetry::observe(
+        telemetry::hist::service_latency_us,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - rec->submitted_at)
+                .count()));
     {
       std::lock_guard<std::mutex> lock(rec->m);
       rec->status = st;
@@ -788,6 +848,20 @@ class pipeline_service {
   // unwinding (nested joins bail and return) is still surfaced here by
   // the rethrow_first after the thunk returns.
   std::exception_ptr run_attempt(detail::job_record& rec) {
+    telemetry::trace_span span(telemetry::trace_kind::job, "attempt",
+                               static_cast<std::int64_t>(rec.job_class));
+    const auto attempt_start = std::chrono::steady_clock::now();
+    struct attempt_timer {
+      std::chrono::steady_clock::time_point start;
+      ~attempt_timer() {
+        telemetry::observe(
+            telemetry::hist::attempt_latency_us,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+      }
+    } timer{attempt_start};
     // Retry-with-verification: once a job has seen corruption, all its
     // later attempts verify salvaged blocks regardless of the env opt-out.
     std::optional<integrity::scoped_verify_resume_force> verify;

@@ -27,6 +27,7 @@
 #include "integrity/block_digest.hpp"
 #include "recovery/checkpoint_ops.hpp"
 #include "service/pipeline_service.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pbds::service {
 
@@ -395,6 +396,9 @@ inline soak_result run_soak(soak_config cfg) {
     r.p50_ms = at(0.50);
     r.p99_ms = at(0.99);
   }
+  // End of run: if PBDS_TRACE_FILE is exported, persist the timeline the
+  // service/scheduler recorded during the soak (the CI artifact).
+  telemetry::flush_trace_from_env();
   return r;
 }
 

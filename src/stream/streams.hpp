@@ -75,6 +75,14 @@ inline bool& bulk_flag() {
 }
 }  // namespace detail
 
+// Re-read PBDS_NO_BULK from the current environment (not thread-safe;
+// call only while no parallel work is in flight — the scoped_env
+// contract in tests/differential.hpp).
+inline void reload_bulk_from_env() {
+  detail::bulk_flag() =
+      pbds::detail::env_integer("PBDS_NO_BULK", 0, 1, 0) == 0;
+}
+
 // True when specialized bulk paths may run. The fault injector arms the
 // exception-tolerance machinery, which requires per-element evaluation
 // (see header comment), so arming it forces the generic fallback.

@@ -22,23 +22,89 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchmarks/policies.hpp"
+#include "integrity/block_digest.hpp"
+#include "memory/budget.hpp"
 #include "memory/tracking.hpp"
 #include "recovery/checkpoint_ops.hpp"
 #include "sched/deterministic.hpp"
 #include "sched/exec_policy.hpp"
 #include "sched/parallel.hpp"
 #include "stream/streams.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pbds::testing {
+
+// --- hostile-env isolation (PR 10) ------------------------------------------
+
+// CI exports PBDS_* knobs (an ambient budget, watchdog cadence, service
+// pressure) around entire ctest runs; suites that inject their own budgets
+// and faults must not have their semantics silently rewritten by that
+// ambient environment. scoped_env snapshots every PBDS_* variable, unsets
+// the behavioral ones, and re-reads each first-touch env cache so the
+// cleared state is actually observed — then restores both on destruction.
+//
+// The structural replay knobs — PBDS_SEED, PBDS_SEED_TRACE,
+// PBDS_NUM_THREADS — are deliberately kept: they select WHICH schedule a
+// sweep replays, not what the library does, and clearing them would break
+// the documented failure-replay workflow (PBDS_SEED=N reruns one seed).
+//
+// Single-threaded contract: construct/destroy only while no parallel work
+// is in flight (same as scoped_bulk_disable); setenv/unsetenv are not
+// thread-safe against concurrent getenv.
+class scoped_env {
+ public:
+  scoped_env() {
+    for (char** e = ::environ; e != nullptr && *e != nullptr; ++e) {
+      const char* s = *e;
+      if (std::strncmp(s, "PBDS_", 5) != 0) continue;
+      const char* eq = std::strchr(s, '=');
+      if (eq == nullptr) continue;
+      std::string name(s, static_cast<std::size_t>(eq - s));
+      if (name == "PBDS_SEED" || name == "PBDS_SEED_TRACE" ||
+          name == "PBDS_NUM_THREADS")
+        continue;
+      saved_.emplace_back(std::move(name), std::string(eq + 1));
+    }
+    for (const auto& [name, value] : saved_) ::unsetenv(name.c_str());
+    reload_env_caches();
+  }
+  ~scoped_env() {
+    for (const auto& [name, value] : saved_)
+      ::setenv(name.c_str(), value.c_str(), 1);
+    reload_env_caches();
+  }
+  scoped_env(const scoped_env&) = delete;
+  scoped_env& operator=(const scoped_env&) = delete;
+
+  // Every first-touch PBDS_* cache in the library, re-read in one place.
+  // A new knob cached at static-init time must be added here or scoped_env
+  // silently stops isolating it (test_telemetry asserts the budget one).
+  static void reload_env_caches() {
+    memory::reload_budget_limit_from_env();
+    integrity::reload_verify_from_env();
+    stream::reload_bulk_from_env();
+    telemetry::reload_metrics_from_env();
+    telemetry::reload_trace_from_env();
+  }
+
+  [[nodiscard]] std::size_t cleared() const { return saved_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> saved_;
+};
 
 // --- digests ----------------------------------------------------------------
 

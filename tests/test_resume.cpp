@@ -57,7 +57,17 @@ inline std::uint64_t plus(std::uint64_t a, std::uint64_t b) { return a + b; }
 
 // --- the crash-at-every-boundary sweep --------------------------------------
 
-TEST(ResumeSweep, ToArrayOverMappedIota) {
+// The sweeps inject their own budget refusals / stalls / faults and prove
+// exact resume equivalence; an ambient PBDS_* environment (the CI
+// hostile-env stage exports PBDS_BUDGET_BYTES around the full ctest run)
+// must not rewrite what those injections mean. scoped_env clears the
+// behavioral knobs for the duration of each test and restores them after.
+class ResumeSweep : public ::testing::Test {
+ protected:
+  pbds::testing::scoped_env env_;
+};
+
+TEST_F(ResumeSweep, ToArrayOverMappedIota) {
   resume_case c{"resume.to_array(map.iota)", [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
                   auto xs = delayed::map(
@@ -74,7 +84,7 @@ TEST(ResumeSweep, ToArrayOverMappedIota) {
   pbds::testing::expect_resume_equivalence(c, sweep_seeds(16));
 }
 
-TEST(ResumeSweep, ToArrayOverRadTabulate) {
+TEST_F(ResumeSweep, ToArrayOverRadTabulate) {
   resume_case c{"resume.to_array(tabulate)",
                 [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
@@ -90,7 +100,7 @@ TEST(ResumeSweep, ToArrayOverRadTabulate) {
   pbds::testing::expect_resume_equivalence(c, sweep_seeds(16));
 }
 
-TEST(ResumeSweep, Reduce) {
+TEST_F(ResumeSweep, Reduce) {
   resume_case c{"resume.reduce", [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
                   auto xs = delayed::map(
@@ -107,7 +117,7 @@ TEST(ResumeSweep, Reduce) {
   pbds::testing::expect_resume_equivalence(c, sweep_seeds(16));
 }
 
-TEST(ResumeSweep, Scan) {
+TEST_F(ResumeSweep, Scan) {
   resume_case c{"resume.scan", [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
                   auto xs = delayed::tabulate(kN, [](std::size_t i) {
@@ -124,7 +134,7 @@ TEST(ResumeSweep, Scan) {
   pbds::testing::expect_resume_equivalence(c, sweep_seeds(8));
 }
 
-TEST(ResumeSweep, ScanInclusive) {
+TEST_F(ResumeSweep, ScanInclusive) {
   resume_case c{"resume.scan_inclusive", [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
                   auto xs = delayed::tabulate(kN, [](std::size_t i) {
@@ -142,7 +152,7 @@ TEST(ResumeSweep, ScanInclusive) {
   pbds::testing::expect_resume_equivalence(c, sweep_seeds(8));
 }
 
-TEST(ResumeSweep, FlattenToArray) {
+TEST_F(ResumeSweep, FlattenToArray) {
   resume_case c{"resume.to_array(flatten)", [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
                   std::size_t outers = kN / 64;
@@ -166,7 +176,7 @@ TEST(ResumeSweep, FlattenToArray) {
   pbds::testing::expect_resume_equivalence(c, sweep_seeds(8));
 }
 
-TEST(ResumeSweep, ForceSharesCompletedStorage) {
+TEST_F(ResumeSweep, ForceSharesCompletedStorage) {
   resume_case c{"resume.force", [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
                   auto xs = delayed::map(
@@ -188,7 +198,7 @@ TEST(ResumeSweep, ForceSharesCompletedStorage) {
 // op's pass must not re-execute the first op's completed blocks — the
 // executions-delta oracle inside the sweep checks exactly that, because
 // blocks_complete_before counts the finished scan units.
-TEST(ResumeSweep, MultiOpFilterScanReduce) {
+TEST_F(ResumeSweep, MultiOpFilterScanReduce) {
   resume_case c{"resume.filter+scan+reduce",
                 [](recovery::job_checkpoint& ck) {
                   pbds::scoped_block_size bs(kBlk);
@@ -268,11 +278,13 @@ TEST(ResumeProgress, StallCarriesLedgerSnapshot) {
 
 // --- budget retry ladder ----------------------------------------------------
 
-// With a budget ACTIVE, a refusal inside a checkpointed op goes through
-// memory::budget_retry, and each rung re-enters the SAME attempt closure —
-// which resumes from the ledger. One visible call, every block executed
-// exactly once, completed blocks salvaged by the retry rung.
-TEST(ResumeBudget, RetryLadderResumesInPlace) {
+// An injected budget refusal PROPAGATES even with a budget active — the
+// retry ladder only absorbs real (transient-pressure) refusals, never
+// injector-fabricated ones, so the sweep's fault contract is identical
+// whether or not PBDS_BUDGET_BYTES (or a budget_scope) is ambient. The
+// resumed call then salvages the refused attempt's completed blocks: every
+// block executed exactly once across the two visible calls.
+TEST(ResumeBudget, InjectedRefusalPropagatesThenResumeSalvages) {
   pbds::sched::scoped_sequential g;
   pbds::scoped_block_size bs(kBlk);
   memory::budget_scope budget(std::int64_t{1} << 30);  // active, generous
@@ -282,16 +294,28 @@ TEST(ResumeBudget, RetryLadderResumesInPlace) {
   auto xs = delayed::map(
       [](std::size_t i) { return static_cast<std::uint64_t>(i + 5); },
       delayed::iota(kN));
-  recovery::scoped_boundary_faults inj(recovery::boundary_fault_kind::budget,
-                                       4);
+  {
+    recovery::scoped_boundary_faults inj(recovery::boundary_fault_kind::budget,
+                                         4);
+    bool threw = false;
+    try {
+      (void)recovery::to_array(xs, slot);
+    } catch (const pbds::budget_exceeded& e) {
+      threw = true;
+      EXPECT_TRUE(e.injected());
+      ASSERT_TRUE(e.has_progress());
+      EXPECT_EQ(e.checkpoint_progress().blocks_complete, 4u);
+    }
+    ASSERT_TRUE(threw) << "injected refusal must propagate, not be retried";
+    EXPECT_EQ(inj.injected(), 1u);
+  }
   const parray<std::uint64_t>& a = recovery::to_array(xs, slot);
-  EXPECT_EQ(inj.injected(), 1u) << "the injected refusal should have fired";
   ASSERT_EQ(a.size(), kN);
   for (std::size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(a[i], static_cast<std::uint64_t>(i + 5)) << "at " << i;
   }
-  // Across the internal ladder, each block ran exactly once, and the retry
-  // rung salvaged the 4 blocks the refused attempt completed.
+  // Across the crash and the resume, each block ran exactly once, and the
+  // resumed call salvaged the 4 blocks the refused attempt completed.
   EXPECT_EQ(slot.ledger().executions(), kBlocks);
   EXPECT_EQ(slot.ledger().redone(), 0u);
   EXPECT_GE(slot.ledger().salvaged(), 4u);

@@ -29,12 +29,27 @@
 #include "sched/scheduler.hpp"
 #include "service/pipeline_service.hpp"
 #include "service/soak_driver.hpp"
+#include "differential.hpp"
 
 namespace {
 
 using pbds::overload_reason;
 using pbds::overloaded;
 using namespace pbds::service;  // NOLINT
+
+// Every suite here configures budget, deadlines, and service tuning
+// explicitly; an exported PBDS_* knob (the CI hostile-env stage) must not
+// change outcomes — e.g. an ambient global budget turns deadline-resume
+// soaks into budget-refusal soaks and no job ever resumes.
+class Service : public ::testing::Test {
+ protected:
+  pbds::testing::scoped_env env_;
+};
+
+class ServiceResume : public ::testing::Test {
+ protected:
+  pbds::testing::scoped_env env_;
+};
 
 service_config manual_config(std::size_t cap, backpressure policy) {
   service_config cfg;
@@ -45,7 +60,7 @@ service_config manual_config(std::size_t cap, backpressure policy) {
   return cfg;
 }
 
-TEST(Service, CompletesJobsManually) {
+TEST_F(Service, CompletesJobsManually) {
   pipeline_service svc(manual_config(8, backpressure::reject));
   std::atomic<int> ran{0};
   std::vector<job_ticket> tickets;
@@ -64,7 +79,7 @@ TEST(Service, CompletesJobsManually) {
   EXPECT_EQ(svc.stats().completed, 3u);
 }
 
-TEST(Service, RejectPolicyThrowsQueueFullAndStaysBounded) {
+TEST_F(Service, RejectPolicyThrowsQueueFullAndStaysBounded) {
   pipeline_service svc(manual_config(2, backpressure::reject));
   auto t1 = svc.submit(0, [] {});
   auto t2 = svc.submit(0, [] {});
@@ -86,7 +101,7 @@ TEST(Service, RejectPolicyThrowsQueueFullAndStaysBounded) {
   EXPECT_EQ(t3.status(), job_status::done);
 }
 
-TEST(Service, ShedOldestEvictsQueuedHead) {
+TEST_F(Service, ShedOldestEvictsQueuedHead) {
   pipeline_service svc(manual_config(2, backpressure::shed_oldest));
   auto t1 = svc.submit(1, [] {});
   auto t2 = svc.submit(2, [] {});
@@ -108,7 +123,7 @@ TEST(Service, ShedOldestEvictsQueuedHead) {
   EXPECT_EQ(st.completed, 2u);
 }
 
-TEST(Service, BlockPolicyWithDispatchersCompletesEverything) {
+TEST_F(Service, BlockPolicyWithDispatchersCompletesEverything) {
   service_config cfg;
   cfg.queue_capacity = 2;
   cfg.policy = backpressure::block;
@@ -132,7 +147,7 @@ TEST(Service, BlockPolicyWithDispatchersCompletesEverything) {
   EXPECT_EQ(svc.stats().completed, 20u);
 }
 
-TEST(Service, PerJobBudgetScopeAppliesDuringTheJobOnly) {
+TEST_F(Service, PerJobBudgetScopeAppliesDuringTheJobOnly) {
   pipeline_service svc(manual_config(4, backpressure::reject));
   const std::int64_t before = pbds::memory::budget_limit();
   std::int64_t seen = -1;
@@ -144,7 +159,7 @@ TEST(Service, PerJobBudgetScopeAppliesDuringTheJobOnly) {
   EXPECT_EQ(pbds::memory::budget_limit(), before);
 }
 
-TEST(Service, RetriesBudgetExceededThenSucceeds) {
+TEST_F(Service, RetriesBudgetExceededThenSucceeds) {
   pipeline_service svc(manual_config(4, backpressure::reject));
   int calls = 0;
   job_limits lim;
@@ -162,7 +177,7 @@ TEST(Service, RetriesBudgetExceededThenSucceeds) {
   EXPECT_EQ(svc.stats().retries, 2u);
 }
 
-TEST(Service, RetryLadderExhaustsToFailure) {
+TEST_F(Service, RetryLadderExhaustsToFailure) {
   pipeline_service svc(manual_config(4, backpressure::reject));
   int calls = 0;
   job_limits lim;
@@ -176,7 +191,7 @@ TEST(Service, RetryLadderExhaustsToFailure) {
   EXPECT_THROW(t.get(), pbds::budget_exceeded);
 }
 
-TEST(Service, NonRetryableFailureFailsImmediately) {
+TEST_F(Service, NonRetryableFailureFailsImmediately) {
   pipeline_service svc(manual_config(4, backpressure::reject));
   int calls = 0;
   job_limits lim;
@@ -189,7 +204,7 @@ TEST(Service, NonRetryableFailureFailsImmediately) {
   EXPECT_THROW(t.get(), std::runtime_error);
 }
 
-TEST(Service, BreakerTripsWithinKWhileHealthyClassesComplete) {
+TEST_F(Service, BreakerTripsWithinKWhileHealthyClassesComplete) {
   auto cfg = manual_config(8, backpressure::reject);
   cfg.breaker_threshold = 3;
   cfg.default_retries = 0;
@@ -213,7 +228,7 @@ TEST(Service, BreakerTripsWithinKWhileHealthyClassesComplete) {
   EXPECT_EQ(t.status(), job_status::done);
 }
 
-TEST(Service, HalfOpenProbeReclosesBreaker) {
+TEST_F(Service, HalfOpenProbeReclosesBreaker) {
   auto cfg = manual_config(8, backpressure::reject);
   cfg.breaker_threshold = 2;
   cfg.breaker_cooldown = 2;
@@ -247,7 +262,7 @@ TEST(Service, HalfOpenProbeReclosesBreaker) {
   EXPECT_TRUE(saw_close);
 }
 
-TEST(Service, DrainRunsBacklogThenRefusesNewWork) {
+TEST_F(Service, DrainRunsBacklogThenRefusesNewWork) {
   const std::int64_t baseline = pbds::memory::bytes_live();
   {
     pipeline_service svc(manual_config(16, backpressure::reject));
@@ -279,7 +294,7 @@ TEST(Service, DrainRunsBacklogThenRefusesNewWork) {
   EXPECT_EQ(pbds::memory::bytes_live(), baseline);
 }
 
-TEST(Service, DrainCancelsStragglersAndPoolStaysReusable) {
+TEST_F(Service, DrainCancelsStragglersAndPoolStaysReusable) {
   service_config cfg;
   cfg.queue_capacity = 16;
   cfg.policy = backpressure::reject;
@@ -317,7 +332,7 @@ TEST(Service, DrainCancelsStragglersAndPoolStaysReusable) {
   EXPECT_EQ(sum.load(), 4096u * 4095u / 2);
 }
 
-TEST(Service, BlockedSubmitterRefusedWhenDrainEmptiesTheQueue) {
+TEST_F(Service, BlockedSubmitterRefusedWhenDrainEmptiesTheQueue) {
   // Regression: a block-policy submitter parked on cv_space_ must not be
   // admitted when drain's take_all both frees queue space and stops
   // admissions in one step — the job would be queued with nothing left to
@@ -351,7 +366,7 @@ TEST(Service, BlockedSubmitterRefusedWhenDrainEmptiesTheQueue) {
   EXPECT_EQ(svc.stats().rejected, 1u);
 }
 
-TEST(Service, TraceIsBoundedButHashCoversEverything) {
+TEST_F(Service, TraceIsBoundedButHashCoversEverything) {
   auto run = [](std::size_t trace_cap) {
     auto cfg = manual_config(8, backpressure::reject);
     cfg.trace_capacity = trace_cap;
@@ -373,7 +388,7 @@ TEST(Service, TraceIsBoundedButHashCoversEverything) {
   EXPECT_EQ(cap_hash, full_hash);
 }
 
-TEST(Service, DrainCancelledProbeDoesNotStrandBreakerHalfOpen) {
+TEST_F(Service, DrainCancelledProbeDoesNotStrandBreakerHalfOpen) {
   auto cfg = manual_config(8, backpressure::reject);
   cfg.breaker_threshold = 1;
   cfg.breaker_cooldown = 2;
@@ -441,7 +456,7 @@ std::vector<trace_entry> scripted_run(std::uint64_t seed) {
   return svc.trace();
 }
 
-TEST(Service, IdenticalSeedsReplayIdenticalDecisionTraces) {
+TEST_F(Service, IdenticalSeedsReplayIdenticalDecisionTraces) {
   const auto a = scripted_run(7);
   const auto b = scripted_run(7);
   ASSERT_EQ(a.size(), b.size());
@@ -458,7 +473,7 @@ TEST(Service, IdenticalSeedsReplayIdenticalDecisionTraces) {
   EXPECT_TRUE(saw_fail);
 }
 
-TEST(Service, TraceHashMatchesAcrossReplays) {
+TEST_F(Service, TraceHashMatchesAcrossReplays) {
   auto hash_of = [](std::uint64_t seed) {
     auto cfg = manual_config(3, backpressure::shed_oldest);
     cfg.seed = seed;
@@ -477,7 +492,7 @@ TEST(Service, TraceHashMatchesAcrossReplays) {
   EXPECT_EQ(hash_of(12), hash_of(12));
 }
 
-TEST(Service, OverloadWithConstrainedBudgetTerminatesAndBalances) {
+TEST_F(Service, OverloadWithConstrainedBudgetTerminatesAndBalances) {
   soak_config cfg;
   cfg.producers = 4;
   cfg.jobs_per_producer = 10;
@@ -508,7 +523,7 @@ TEST(Service, OverloadWithConstrainedBudgetTerminatesAndBalances) {
 // stay intact for a later readmission. (Previously the retry ladder
 // re-ran the attempt and let the class's open breaker reject it only on
 // the next submission.)
-TEST(ServiceResume, BreakerOpenRetryBurnsNoCheckpointAttempt) {
+TEST_F(ServiceResume, BreakerOpenRetryBurnsNoCheckpointAttempt) {
   auto cfg = manual_config(8, backpressure::reject);
   cfg.breaker_threshold = 1;  // one failure of the class opens the breaker
   pipeline_service svc(cfg);
@@ -560,7 +575,7 @@ TEST(ServiceResume, BreakerOpenRetryBurnsNoCheckpointAttempt) {
 // A checkpointed job whose first attempt stalls resumes on the retry:
 // the resume event carries the salvageable-block count, the retry skips
 // completed blocks, and the job lands in completed_after_resume.
-TEST(ServiceResume, RetryResumesFromLedgerAndRecordsProgress) {
+TEST_F(ServiceResume, RetryResumesFromLedgerAndRecordsProgress) {
   pipeline_service svc(manual_config(4, backpressure::reject));
   auto ck = std::make_shared<pbds::recovery::job_checkpoint>();
   job_limits lim;
@@ -610,7 +625,7 @@ TEST(ServiceResume, RetryResumesFromLedgerAndRecordsProgress) {
 // Drain cancels an in-flight resumable job, parks its checkpoint with the
 // progress it made, and a fresh service readmits and finishes it without
 // re-executing a single completed block.
-TEST(ServiceResume, DrainParksInFlightProgressForReadmission) {
+TEST_F(ServiceResume, DrainParksInFlightProgressForReadmission) {
   std::atomic<bool> started{false};
   std::atomic<bool> release{false};
   auto rthunk = [&](pbds::recovery::job_checkpoint& ck) {
@@ -692,7 +707,7 @@ TEST(ServiceResume, DrainParksInFlightProgressForReadmission) {
 // checkpointed jobs (deterministic per-job stall points) produce identical
 // traces and trace hashes, with resume events present — the replay
 // fingerprint covers recovery decisions too.
-TEST(ServiceResume, SeedReplayTraceHashCoversResumeEvents) {
+TEST_F(ServiceResume, SeedReplayTraceHashCoversResumeEvents) {
   auto run = [](std::uint64_t seed) {
     auto cfg = manual_config(8, backpressure::reject);
     cfg.seed = seed;
@@ -742,7 +757,7 @@ TEST(ServiceResume, SeedReplayTraceHashCoversResumeEvents) {
 // The resumable soak converges under constrained budget at 2x capacity
 // with resumed jobs actually completing — the CI service-soak assertion,
 // in-process.
-TEST(ServiceResume, ResumableSoakUnderBudgetCompletesResumedJobs) {
+TEST_F(ServiceResume, ResumableSoakUnderBudgetCompletesResumedJobs) {
   // A 2 ms per-attempt deadline, enforced by a fast watchdog poll,
   // interrupts first attempts mid-materialization; retries resume from
   // the ledger. The per-job budget keeps allocation pressure on without
@@ -776,7 +791,7 @@ TEST(ServiceResume, ResumableSoakUnderBudgetCompletesResumedJobs) {
   EXPECT_GT(r.stats.completed_after_resume, 0u);
 }
 
-TEST(Service, ConfigFromEnvParsesStrictly) {
+TEST_F(Service, ConfigFromEnvParsesStrictly) {
   ::setenv("PBDS_SERVICE_QUEUE_CAP", "17", 1);
   ::setenv("PBDS_SERVICE_BREAKER_K", "5", 1);
   ::setenv("PBDS_SERVICE_RETRIES", "not-a-number", 1);
